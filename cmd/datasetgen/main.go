@@ -1,0 +1,91 @@
+// Command datasetgen materialises the synthetic Ocularone dataset:
+// Roboflow-style JSONL annotations, Ultralytics YOLO txt labels, the
+// training YAML, and (optionally) sample frames as binary PPM images.
+//
+// Usage:
+//
+//	datasetgen -out ./data -scale 0.01 -images 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"ocularone/internal/dataset"
+	"ocularone/internal/imgproc"
+)
+
+func main() {
+	var (
+		out    = flag.String("out", "ocularone-data", "output directory")
+		scale  = flag.Float64("scale", 0.01, "dataset scale factor (1.0 = 30,711 images)")
+		w      = flag.Int("w", 640, "frame width")
+		h      = flag.Int("h", 480, "frame height")
+		seed   = flag.Uint64("seed", 42, "generation seed")
+		images = flag.Int("images", 4, "number of sample frames to write as PPM")
+	)
+	flag.Parse()
+
+	ds := dataset.Build(dataset.Config{Scale: *scale, W: *w, H: *h, Seed: *seed})
+	sp := ds.StratifiedSplit(0.126)
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+
+	// Annotations for the full dataset.
+	var anns []dataset.Annotation
+	var yoloLines []byte
+	for _, it := range ds.Items {
+		r := ds.Render(it)
+		a, ok := dataset.AnnotationFor(r, *w, *h)
+		if !ok {
+			continue
+		}
+		anns = append(anns, a)
+		yoloLines = append(yoloLines, []byte(a.ImageID+": "+a.YOLOLine()+"\n")...)
+	}
+	data, err := dataset.MarshalJSONLines(anns)
+	if err != nil {
+		fatal(err)
+	}
+	must(os.WriteFile(filepath.Join(*out, "annotations.jsonl"), data, 0o644))
+	must(os.WriteFile(filepath.Join(*out, "labels_yolo.txt"), yoloLines, 0o644))
+	must(os.WriteFile(filepath.Join(*out, "ocularone.yaml"),
+		[]byte(dataset.TrainingYAML("ocularone", sp)), 0o644))
+
+	// Sample frames.
+	for i := 0; i < *images && i < ds.Len(); i++ {
+		idx := i * ds.Len() / max(1, *images)
+		r := ds.Render(ds.Items[idx])
+		name := filepath.Join(*out, dataset.ItemID(ds.Items[idx])+".ppm")
+		must(os.WriteFile(name, encodePPM(r.Image), 0o644))
+	}
+
+	counts := ds.CountByCategory()
+	fmt.Printf("wrote %d annotations (%d items) to %s\n", len(anns), ds.Len(), *out)
+	fmt.Printf("split: train=%d val=%d test=%d\n", sp.Train.Len(), sp.Val.Len(), sp.Test.Len())
+	for _, c := range dataset.Taxonomy {
+		fmt.Printf("  %-4s %-34s %6d\n", c.ID, c.Desc, counts[c.ID])
+	}
+}
+
+// encodePPM serialises an image as binary PPM (P6), viewable everywhere.
+func encodePPM(im *imgproc.Image) []byte {
+	header := fmt.Sprintf("P6\n%d %d\n255\n", im.W, im.H)
+	out := make([]byte, 0, len(header)+len(im.Pix))
+	out = append(out, header...)
+	return append(out, im.Pix...)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "datasetgen:", err)
+	os.Exit(1)
+}
+
+func must(err error) {
+	if err != nil {
+		fatal(err)
+	}
+}

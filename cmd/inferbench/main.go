@@ -1,0 +1,68 @@
+// Command inferbench runs latency sweeps over the benchmark models and
+// devices — the interactive counterpart of Figs. 5 and 6, with energy
+// and throughput columns.
+//
+// Usage:
+//
+//	inferbench                          # all models × all devices
+//	inferbench -device nx -frames 1000
+//	inferbench -model yolov8x
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ocularone/internal/device"
+	"ocularone/internal/metrics"
+	"ocularone/internal/models"
+)
+
+func main() {
+	var (
+		deviceFlag = flag.String("device", "all", "device: o-agx | nx | o-nano | rtx4090 | all")
+		modelFlag  = flag.String("model", "all", "model name (e.g. yolov8m) or 'all'")
+		frames     = flag.Int("frames", 1000, "timing frames per cell (paper: ~1,000)")
+		seed       = flag.Uint64("seed", 42, "jitter seed")
+	)
+	flag.Parse()
+
+	devs := device.AllIDs
+	if *deviceFlag != "all" {
+		devs = nil
+		for _, d := range device.AllIDs {
+			if d.String() == *deviceFlag {
+				devs = []device.ID{d}
+			}
+		}
+		if devs == nil {
+			fmt.Fprintf(os.Stderr, "inferbench: unknown device %q\n", *deviceFlag)
+			os.Exit(1)
+		}
+	}
+	mods := models.AllIDs
+	if *modelFlag != "all" {
+		mods = nil
+		for _, m := range models.AllIDs {
+			if m.String() == *modelFlag {
+				mods = []models.ID{m}
+			}
+		}
+		if mods == nil {
+			fmt.Fprintf(os.Stderr, "inferbench: unknown model %q\n", *modelFlag)
+			os.Exit(1)
+		}
+	}
+
+	fmt.Printf("%-12s %-10s %10s %10s %10s %10s %10s %10s\n",
+		"model", "device", "median", "p25", "p75", "p95", "fps", "J/frame")
+	for _, m := range mods {
+		for _, d := range devs {
+			s := metrics.SummarizeMS(device.Sample(m, d, *frames, *seed^uint64(m)<<8^uint64(d)))
+			fmt.Printf("%-12s %-10s %9.1fms %9.1fms %9.1fms %9.1fms %10.1f %10.2f\n",
+				m, d, s.MedianMS, s.P25MS, s.P75MS, s.P95MS,
+				device.FPS(m, d), device.EnergyPerFrameJ(m, d))
+		}
+	}
+}

@@ -1,0 +1,65 @@
+// Command ocularone-bench runs the Ocularone-Bench reproduction: every
+// table and figure of the paper, regenerated from the repository's
+// substrates at a configurable scale.
+//
+// Usage:
+//
+//	ocularone-bench -list
+//	ocularone-bench -experiment fig4
+//	ocularone-bench -full                 # paper-scale protocol (slow)
+//	ocularone-bench -scale 0.1 -experiment fig3+4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ocularone/internal/bench"
+	"ocularone/internal/core"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "experiment to run (see -list) or 'all'")
+		full       = flag.Bool("full", false, "run the paper-scale protocol (30,711 images, 1,000 timing frames)")
+		scaleFlag  = flag.Float64("scale", 0, "override the dataset scale factor (0 < s <= 1)")
+		frames     = flag.Int("frames", 0, "override the timing-frame count")
+		seed       = flag.Uint64("seed", 42, "master seed")
+		list       = flag.Bool("list", false, "list available experiments")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, name := range core.ExperimentNames() {
+			desc, _ := core.Describe(name)
+			fmt.Printf("%-10s %s\n", name, desc)
+		}
+		return
+	}
+
+	sc := bench.CIScale
+	if *full {
+		sc = bench.FullScale
+	}
+	if *scaleFlag > 0 {
+		sc.Data = *scaleFlag
+	}
+	if *frames > 0 {
+		sc.TimingFrames = *frames
+	}
+	sc.Seed = *seed
+
+	suite := core.New(sc)
+	fmt.Printf("Ocularone-Bench reproduction — %s\n", sc)
+	var err error
+	if *experiment == "all" {
+		err = suite.RunAll(os.Stdout)
+	} else {
+		err = suite.Run(*experiment, os.Stdout)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+}

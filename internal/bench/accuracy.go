@@ -1,0 +1,138 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"ocularone/internal/dataset"
+	"ocularone/internal/detect"
+	"ocularone/internal/models"
+)
+
+// AccuracyStudy holds the trained detectors and their evaluations on the
+// diverse and adversarial test splits — the data behind Figs. 3 and 4.
+type AccuracyStudy struct {
+	Scale     Scale
+	Detectors map[string]*detect.Detector
+	Diverse   map[string]detect.Result
+	Advers    map[string]detect.Result
+	// Split sizes, for reporting.
+	TrainN, DiverseN, AdversN int
+}
+
+// RunAccuracyStudy executes the paper's §3.1/§4.2 protocol: build the
+// dataset, stratified-sample the training pool, retrain all six detector
+// variants, and evaluate each on the diverse and adversarial test sets.
+func RunAccuracyStudy(sc Scale) *AccuracyStudy {
+	ds := dataset.Build(dataset.Config{Scale: sc.Data, W: sc.W, H: sc.H, Seed: sc.Seed})
+	sp := ds.StratifiedSplit(sc.TrainFrac)
+	testDiv := sp.Test.Diverse()
+	testAdv := sp.Test.Adversarial()
+	st := &AccuracyStudy{
+		Scale:     sc,
+		Detectors: map[string]*detect.Detector{},
+		Diverse:   map[string]detect.Result{},
+		Advers:    map[string]detect.Result{},
+		TrainN:    sp.Train.Len(), DiverseN: testDiv.Len(), AdversN: testAdv.Len(),
+	}
+	for _, f := range Families {
+		for _, sz := range Sizes {
+			key := ModelKey(f, sz)
+			d := detect.TrainDataset(detect.TierFor(f, sz), sp.Train)
+			st.Detectors[key] = d
+			st.Diverse[key] = detect.EvaluateDataset(d, testDiv)
+			st.Advers[key] = detect.EvaluateDataset(d, testAdv)
+		}
+	}
+	return st
+}
+
+// WriteFig3 renders the diverse-dataset accuracy matrices (Fig. 3).
+func (st *AccuracyStudy) WriteFig3(w io.Writer) {
+	divider(w, fmt.Sprintf("Fig. 3: RT YOLO accuracy on diverse dataset (n=%d)", st.DiverseN))
+	st.writeFamily(w, st.Diverse)
+}
+
+// WriteFig4 renders the adversarial-dataset accuracy matrices (Fig. 4).
+func (st *AccuracyStudy) WriteFig4(w io.Writer) {
+	divider(w, fmt.Sprintf("Fig. 4: RT YOLO accuracy on adversarial dataset (n=%d)", st.AdversN))
+	st.writeFamily(w, st.Advers)
+	// Per-attack breakdown, sorted for stable output.
+	for _, f := range Families {
+		for _, sz := range Sizes {
+			key := ModelKey(f, sz)
+			res := st.Advers[key]
+			var kinds []string
+			for k := range res.PerAttack {
+				kinds = append(kinds, k)
+			}
+			sort.Strings(kinds)
+			fmt.Fprintf(w, "  %s per-attack:", key)
+			for _, k := range kinds {
+				fmt.Fprintf(w, "  %s=%.1f%%", k, res.PerAttack[k].Accuracy())
+			}
+			fmt.Fprintln(w)
+		}
+	}
+}
+
+func (st *AccuracyStudy) writeFamily(w io.Writer, res map[string]detect.Result) {
+	for _, f := range Families {
+		for _, sz := range Sizes {
+			key := ModelKey(f, sz)
+			r := res[key]
+			fmt.Fprintf(w, "%s (spurious boxes: %d)\n", confusionLine("RT "+key, r.Confusion), r.SpuriousBoxes)
+		}
+	}
+}
+
+// Fig1Result holds the dataset-curation study (Fig. 1): YOLOv11-m
+// retrained on an uncurated random sample versus the curated stratified
+// pool, evaluated on diverse and adversarial test sets.
+type Fig1Result struct {
+	RandomN, CuratedN                  int
+	RandomDiverse, RandomAdversarial   detect.Result
+	CuratedDiverse, CuratedAdversarial detect.Result
+}
+
+// RunFig1 executes the curation study. The "random" baseline mimics an
+// uncurated scrape: a uniform sample of diverse-condition images with
+// degraded annotations, trained without the curation QA pass.
+func RunFig1(sc Scale) Fig1Result {
+	ds := dataset.Build(dataset.Config{Scale: sc.Data, W: sc.W, H: sc.H, Seed: sc.Seed})
+	sp := ds.StratifiedSplit(sc.TrainFrac)
+	testDiv := sp.Test.Diverse()
+	testAdv := sp.Test.Adversarial()
+	tier := detect.TierFor(models.YOLOv11, models.Medium)
+
+	nRandom := int(1000 * sc.Data)
+	if nRandom < 10 {
+		nRandom = 10
+	}
+	div := ds.Diverse()
+	if nRandom > div.Len() {
+		nRandom = div.Len()
+	}
+	randomTrain := div.RandomSample(nRandom, sc.Seed+7).WithBoxJitter(0.35)
+	detR := detect.TrainDatasetOpts(tier, randomTrain, detect.Options{Curated: false})
+	detC := detect.TrainDataset(tier, sp.Train)
+
+	return Fig1Result{
+		RandomN:            nRandom,
+		CuratedN:           sp.Train.Len(),
+		RandomDiverse:      detect.EvaluateDataset(detR, testDiv),
+		RandomAdversarial:  detect.EvaluateDataset(detR, testAdv),
+		CuratedDiverse:     detect.EvaluateDataset(detC, testDiv),
+		CuratedAdversarial: detect.EvaluateDataset(detC, testAdv),
+	}
+}
+
+// WriteFig1 renders the four confusion matrices of Fig. 1.
+func WriteFig1(w io.Writer, r Fig1Result) {
+	divider(w, "Fig. 1: YOLOv11-m accuracy vs training-data curation")
+	fmt.Fprintf(w, "(a) random %d imgs, diverse test:     %s\n", r.RandomN, confusionLine("", r.RandomDiverse.Confusion))
+	fmt.Fprintf(w, "(b) random %d imgs, adversarial test: %s\n", r.RandomN, confusionLine("", r.RandomAdversarial.Confusion))
+	fmt.Fprintf(w, "(c) curated %d imgs, diverse test:     %s\n", r.CuratedN, confusionLine("", r.CuratedDiverse.Confusion))
+	fmt.Fprintf(w, "(d) curated %d imgs, adversarial test: %s\n", r.CuratedN, confusionLine("", r.CuratedAdversarial.Confusion))
+}

@@ -1,0 +1,172 @@
+// Package bench is the experiment harness of Ocularone-Bench: one runner
+// per table and figure of the paper, each regenerating the corresponding
+// rows/series from this repository's substrates. Runners accept a Scale
+// so the same protocol runs CI-sized (seconds) or paper-sized (the full
+// 30,711-image dataset and ~1,000 timing frames).
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"ocularone/internal/dataset"
+	"ocularone/internal/detect"
+	"ocularone/internal/device"
+	"ocularone/internal/metrics"
+	"ocularone/internal/models"
+)
+
+// Scale parameterises an experiment run.
+type Scale struct {
+	// Data multiplies Table-1 category counts (1.0 = 30,711 images).
+	Data float64
+	// TimingFrames is the number of frames per model×device latency
+	// sample (the paper uses ≈1,000).
+	TimingFrames int
+	// W, H are render dimensions.
+	W, H int
+	Seed uint64
+	// TrainFrac is the fraction of each category used for training
+	// (paper: 3,866/30,711 ≈ 12.6%).
+	TrainFrac float64
+}
+
+// CIScale is a seconds-scale configuration for tests and `go test -bench`.
+var CIScale = Scale{Data: 0.02, TimingFrames: 100, W: 320, H: 240, Seed: 42, TrainFrac: 0.126}
+
+// FullScale is the paper-scale protocol.
+var FullScale = Scale{Data: 1.0, TimingFrames: 1000, W: 640, H: 480, Seed: 42, TrainFrac: 0.126}
+
+func (s Scale) String() string {
+	return fmt.Sprintf("scale(data=%.3g, frames=%d, %dx%d)", s.Data, s.TimingFrames, s.W, s.H)
+}
+
+// ModelKey identifies a detector variant in result maps, e.g. "v8n".
+func ModelKey(f models.Family, sz models.Size) string {
+	return detect.TierFor(f, sz).Name
+}
+
+// Sizes lists the paper's three model scales in figure order.
+var Sizes = []models.Size{models.Nano, models.Medium, models.XLarge}
+
+// Families lists the two YOLO generations in figure order.
+var Families = []models.Family{models.YOLOv8, models.YOLOv11}
+
+// Table1Row is one row of the dataset-summary table.
+type Table1Row struct {
+	Category CategoryLabel
+	Count    int
+	Paper    int
+}
+
+// CategoryLabel carries the Table-1 naming.
+type CategoryLabel struct {
+	ID    dataset.CategoryID
+	Group string
+	Desc  string
+}
+
+// Table1 builds the dataset at scale and tallies categories.
+func Table1(sc Scale) []Table1Row {
+	ds := dataset.Build(dataset.Config{Scale: sc.Data, W: sc.W, H: sc.H, Seed: sc.Seed})
+	counts := ds.CountByCategory()
+	rows := make([]Table1Row, 0, len(dataset.Taxonomy))
+	for _, c := range dataset.Taxonomy {
+		rows = append(rows, Table1Row{
+			Category: CategoryLabel{ID: c.ID, Group: c.Group, Desc: c.Desc},
+			Count:    counts[c.ID],
+			Paper:    c.PaperCount,
+		})
+	}
+	return rows
+}
+
+// WriteTable1 renders Table 1 in the paper's layout.
+func WriteTable1(w io.Writer, rows []Table1Row) {
+	fmt.Fprintf(w, "Table 1: Dataset Summary\n")
+	fmt.Fprintf(w, "%-6s %-14s %-34s %10s %10s\n", "Cat", "Group", "Sub-category", "#images", "(paper)")
+	total, ptotal := 0, 0
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-6s %-14s %-34s %10d %10d\n", r.Category.ID, r.Category.Group, r.Category.Desc, r.Count, r.Paper)
+		total += r.Count
+		ptotal += r.Paper
+	}
+	fmt.Fprintf(w, "%-56s %10d %10d\n", "Total", total, ptotal)
+}
+
+// Table2Row is one row of the model-specification table.
+type Table2Row struct {
+	Model        models.ID
+	Category     string
+	Architecture string
+	ParamsM      float64
+	SizeMB       float64
+	GFLOPs       float64
+	PaperParamsM float64
+	PaperSizeMB  float64
+}
+
+// Table2 computes model statistics from the nn engine (COCO heads, as the
+// published checkpoints Table 2 describes).
+func Table2() []Table2Row {
+	rows := make([]Table2Row, 0, len(models.AllIDs))
+	for _, id := range models.AllIDs {
+		info := models.Catalog(id)
+		st := models.ComputeStats(id)
+		rows = append(rows, Table2Row{
+			Model: id, Category: info.Category, Architecture: info.Architecture,
+			ParamsM: float64(st.Params) / 1e6, SizeMB: st.SizeMB, GFLOPs: st.GFLOPs,
+			PaperParamsM: info.PaperParamsM, PaperSizeMB: info.PaperSizeMB,
+		})
+	}
+	return rows
+}
+
+// WriteTable2 renders Table 2.
+func WriteTable2(w io.Writer, rows []Table2Row) {
+	fmt.Fprintf(w, "Table 2: DNN model specifications\n")
+	fmt.Fprintf(w, "%-12s %-18s %-10s %10s %10s %10s %12s %12s\n",
+		"Model", "Category", "Arch", "Params(M)", "Size(MB)", "GFLOPs", "paperP(M)", "paperSz(MB)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-12s %-18s %-10s %10.2f %10.2f %10.1f %12.2f %12.2f\n",
+			r.Model, r.Category, r.Architecture, r.ParamsM, r.SizeMB, r.GFLOPs, r.PaperParamsM, r.PaperSizeMB)
+	}
+}
+
+// Table3Row is one device-specification row.
+type Table3Row struct{ Dev device.Device }
+
+// Table3 returns the device registry in Table-3 order plus the
+// workstation.
+func Table3() []Table3Row {
+	rows := make([]Table3Row, 0, len(device.AllIDs))
+	for _, id := range device.AllIDs {
+		rows = append(rows, Table3Row{Dev: device.Registry(id)})
+	}
+	return rows
+}
+
+// WriteTable3 renders Table 3.
+func WriteTable3(w io.Writer, rows []Table3Row) {
+	fmt.Fprintf(w, "Table 3: Evaluation devices\n")
+	fmt.Fprintf(w, "%-10s %-22s %-8s %6s/%-4s %5s %8s %8s %9s\n",
+		"ID", "Name", "Arch", "CUDA", "TC", "RAM", "Power(W)", "Weight", "Price($)")
+	for _, r := range rows {
+		d := r.Dev
+		fmt.Fprintf(w, "%-10s %-22s %-8s %6d/%-4d %4dG %8.0f %7.0fg %9.0f\n",
+			d.ID, d.Name, d.Arch, d.CUDACores, d.TensorCores, d.RAMGB, d.PeakPowerW, d.WeightG, d.PriceUSD)
+	}
+}
+
+// divider writes a section separator.
+func divider(w io.Writer, title string) {
+	fmt.Fprintf(w, "\n%s\n%s\n", title, strings.Repeat("=", len(title)))
+}
+
+// confusionLine formats a confusion result in the figures' style.
+func confusionLine(name string, c metrics.Confusion) string {
+	m := c.Matrix()
+	return fmt.Sprintf("%-22s  [True→  %6.2f %6.2f | False→ %6.2f %6.2f]  acc=%6.2f%%",
+		name, m[0][0], m[0][1], m[1][0], m[1][1], c.Accuracy())
+}

@@ -1,0 +1,183 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"ocularone/internal/device"
+	"ocularone/internal/models"
+)
+
+// tinyScale keeps unit tests fast; the shape assertions here are the
+// paper's qualitative claims, asserted again at larger scale by the
+// repository-root benchmarks.
+var tinyScale = Scale{Data: 0.01, TimingFrames: 50, W: 320, H: 240, Seed: 42, TrainFrac: 0.2}
+
+func TestTable1CountsScale(t *testing.T) {
+	rows := Table1(Scale{Data: 1, W: 64, H: 48, Seed: 1})
+	if len(rows) != 12 {
+		t.Fatalf("rows %d", len(rows))
+	}
+	total := 0
+	for _, r := range rows {
+		if r.Count != r.Paper {
+			t.Fatalf("category %s: %d != paper %d at scale 1", r.Category.ID, r.Count, r.Paper)
+		}
+		total += r.Count
+	}
+	if total != 30711 {
+		t.Fatalf("total %d", total)
+	}
+	var sb strings.Builder
+	WriteTable1(&sb, rows)
+	if !strings.Contains(sb.String(), "30711") {
+		t.Fatal("render missing total")
+	}
+}
+
+func TestTable2RowsComplete(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds all models")
+	}
+	rows := Table2()
+	if len(rows) != len(models.AllIDs) {
+		t.Fatalf("rows %d", len(rows))
+	}
+	for _, r := range rows {
+		ratio := r.ParamsM / r.PaperParamsM
+		if ratio < 0.9 || ratio > 1.1 {
+			t.Errorf("%s params %.2fM vs paper %.2fM", r.Model, r.ParamsM, r.PaperParamsM)
+		}
+	}
+	var sb strings.Builder
+	WriteTable2(&sb, rows)
+	if !strings.Contains(sb.String(), "yolov8x") {
+		t.Fatal("render missing model")
+	}
+}
+
+func TestTable3Rows(t *testing.T) {
+	rows := Table3()
+	if len(rows) != 4 {
+		t.Fatalf("rows %d", len(rows))
+	}
+	var sb strings.Builder
+	WriteTable3(&sb, rows)
+	for _, want := range []string{"o-agx", "nx", "o-nano", "rtx4090", "2048", "384"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Fatalf("table 3 render missing %q", want)
+		}
+	}
+}
+
+func TestAccuracyStudyShape(t *testing.T) {
+	st := RunAccuracyStudy(tinyScale)
+	if len(st.Detectors) != 6 {
+		t.Fatalf("detectors %d", len(st.Detectors))
+	}
+	for key, res := range st.Diverse {
+		if res.Accuracy() < 85 {
+			t.Errorf("%s diverse accuracy %.1f%% below floor", key, res.Accuracy())
+		}
+		if res.Confusion.FP != 0 {
+			t.Errorf("%s has FPs on all-positive diverse set", key)
+		}
+	}
+	// Fig. 4 ordering: nano is the weakest variant per family.
+	for _, f := range Families {
+		n := st.Advers[ModelKey(f, models.Nano)].Accuracy()
+		m := st.Advers[ModelKey(f, models.Medium)].Accuracy()
+		x := st.Advers[ModelKey(f, models.XLarge)].Accuracy()
+		if n > m+1e-9 || n > x+1e-9 {
+			t.Errorf("%v: nano (%.1f) not weakest on adversarial (m=%.1f x=%.1f)", f, n, m, x)
+		}
+	}
+	var sb strings.Builder
+	st.WriteFig3(&sb)
+	st.WriteFig4(&sb)
+	if !strings.Contains(sb.String(), "RT v8n") || !strings.Contains(sb.String(), "per-attack") {
+		t.Fatal("figure render incomplete")
+	}
+}
+
+func TestFig1CurationGap(t *testing.T) {
+	r := RunFig1(Scale{Data: 0.04, TimingFrames: 10, W: 320, H: 240, Seed: 42, TrainFrac: 0.126})
+	if r.CuratedAdversarial.Accuracy() <= r.RandomAdversarial.Accuracy() {
+		t.Fatalf("curated (%.1f%%) not better than random (%.1f%%) on adversarial",
+			r.CuratedAdversarial.Accuracy(), r.RandomAdversarial.Accuracy())
+	}
+	// On the diverse set the gap narrows (both models see plenty of easy
+	// conditions); allow sampling noise but no real regression.
+	if r.CuratedDiverse.Accuracy() < r.RandomDiverse.Accuracy()-1.0 {
+		t.Fatalf("curated diverse (%.1f%%) worse than random (%.1f%%)",
+			r.CuratedDiverse.Accuracy(), r.RandomDiverse.Accuracy())
+	}
+	var sb strings.Builder
+	WriteFig1(&sb, r)
+	if !strings.Contains(sb.String(), "curated") {
+		t.Fatal("fig1 render incomplete")
+	}
+}
+
+func TestFig5Cells(t *testing.T) {
+	cells := RunFig5(tinyScale)
+	if len(cells) != len(models.AllIDs)*3 {
+		t.Fatalf("cells %d", len(cells))
+	}
+	// Ordering per model: agx < nano < nx (medians).
+	for _, m := range models.AllIDs {
+		agx := findCell(cells, m, device.OrinAGX).Summary.MedianMS
+		nano := findCell(cells, m, device.OrinNano).Summary.MedianMS
+		nx := findCell(cells, m, device.XavierNX).Summary.MedianMS
+		if !(agx < nano && nano < nx) {
+			t.Errorf("%s: device ordering broken %.1f/%.1f/%.1f", m, agx, nano, nx)
+		}
+	}
+	var sb strings.Builder
+	WriteFig5(&sb, cells)
+	if !strings.Contains(sb.String(), "(d) Monodepth2") {
+		t.Fatal("fig5 render incomplete")
+	}
+}
+
+func TestFig6Cells(t *testing.T) {
+	cells := RunFig6(tinyScale)
+	if len(cells) != len(models.AllIDs) {
+		t.Fatalf("cells %d", len(cells))
+	}
+	for _, c := range cells {
+		if c.Summary.MedianMS > 25 {
+			t.Errorf("%s median %.1f ms exceeds the paper's 25 ms workstation bound", c.Model, c.Summary.MedianMS)
+		}
+	}
+	var sb strings.Builder
+	WriteFig6(&sb, cells)
+	if !strings.Contains(sb.String(), "rtx") && !strings.Contains(sb.String(), "RTX") {
+		t.Fatal("fig6 render incomplete")
+	}
+}
+
+func TestAblationContrastNorm(t *testing.T) {
+	a := RunAblationContrastNorm(Scale{Data: 0.02, TimingFrames: 10, W: 320, H: 240, Seed: 42, TrainFrac: 0.2})
+	if a.Regression() <= 0 {
+		t.Fatalf("contrast normalisation shows no benefit: full=%.1f ablated=%.1f", a.Full, a.Ablated)
+	}
+}
+
+func TestAblationMemoryTerm(t *testing.T) {
+	a := RunAblationMemoryTerm()
+	if a.Full <= 0 {
+		t.Fatal("memory term has no effect anywhere")
+	}
+	var sb strings.Builder
+	WriteAblations(&sb, []AblationResult{a})
+	if !strings.Contains(sb.String(), "roofline") {
+		t.Fatal("ablation render incomplete")
+	}
+}
+
+func TestScaleString(t *testing.T) {
+	if !strings.Contains(CIScale.String(), "scale(") {
+		t.Fatal("scale string")
+	}
+}

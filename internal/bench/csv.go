@@ -1,0 +1,65 @@
+package bench
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// CSVFig5 writes the edge-latency cells as plot-ready CSV
+// (model,device,median_ms,p25_ms,p75_ms,p95_ms,n).
+func CSVFig5(w io.Writer, cells []LatencyCell) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"model", "device", "median_ms", "p25_ms", "p75_ms", "p95_ms", "n"}); err != nil {
+		return fmt.Errorf("bench: csv header: %w", err)
+	}
+	for _, c := range cells {
+		rec := []string{
+			c.Model.String(), c.Device.String(),
+			f2s(c.Summary.MedianMS), f2s(c.Summary.P25MS),
+			f2s(c.Summary.P75MS), f2s(c.Summary.P95MS),
+			strconv.Itoa(c.Summary.N),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("bench: csv row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// CSVAccuracy writes the Fig. 3/4 study as CSV
+// (model,testset,accuracy_pct,tp,fn,spurious).
+func CSVAccuracy(w io.Writer, st *AccuracyStudy) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"model", "testset", "accuracy_pct", "tp", "fn", "spurious"}); err != nil {
+		return fmt.Errorf("bench: csv header: %w", err)
+	}
+	emit := func(set string, key string) error {
+		res := st.Diverse[key]
+		if set == "adversarial" {
+			res = st.Advers[key]
+		}
+		return cw.Write([]string{
+			key, set, f2s(res.Accuracy()),
+			strconv.Itoa(res.Confusion.TP), strconv.Itoa(res.Confusion.FN),
+			strconv.Itoa(res.SpuriousBoxes),
+		})
+	}
+	for _, f := range Families {
+		for _, sz := range Sizes {
+			key := ModelKey(f, sz)
+			if err := emit("diverse", key); err != nil {
+				return err
+			}
+			if err := emit("adversarial", key); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func f2s(v float64) string { return strconv.FormatFloat(v, 'f', 3, 64) }

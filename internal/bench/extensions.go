@@ -1,0 +1,81 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"ocularone/internal/adaptive"
+	"ocularone/internal/device"
+	"ocularone/internal/models"
+)
+
+// EfficiencyRow extends the paper's Fig. 5/6 study with the economics
+// Table 3 implies: throughput per dollar and per watt for each
+// model×device pair — the numbers a deployment planner actually needs.
+type EfficiencyRow struct {
+	Model        models.ID
+	Device       device.ID
+	FPS          float64
+	FPSPerDollar float64 // ×1000 (FPS per k$)
+	FPSPerWatt   float64
+	JoulesFrame  float64
+}
+
+// RunEfficiency computes the efficiency table.
+func RunEfficiency() []EfficiencyRow {
+	var out []EfficiencyRow
+	for _, m := range models.AllIDs {
+		for _, d := range device.AllIDs {
+			dev := device.Registry(d)
+			fps := device.FPS(m, d)
+			out = append(out, EfficiencyRow{
+				Model: m, Device: d,
+				FPS:          fps,
+				FPSPerDollar: fps / dev.PriceUSD * 1000,
+				FPSPerWatt:   fps / dev.PeakPowerW,
+				JoulesFrame:  device.EnergyPerFrameJ(m, d),
+			})
+		}
+	}
+	return out
+}
+
+// WriteEfficiency renders the efficiency study.
+func WriteEfficiency(w io.Writer, rows []EfficiencyRow) {
+	divider(w, "Extension: deployment efficiency (throughput per dollar / per watt)")
+	fmt.Fprintf(w, "%-12s %-10s %10s %14s %12s %10s\n",
+		"model", "device", "fps", "fps/k$", "fps/W", "J/frame")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-12s %-10s %10.1f %14.2f %12.3f %10.2f\n",
+			r.Model, r.Device, r.FPS, r.FPSPerDollar, r.FPSPerWatt, r.JoulesFrame)
+	}
+}
+
+// RunAdaptiveStudy executes the future-work adaptive-deployment scenario
+// and returns the static arms plus the adaptive policy.
+func RunAdaptiveStudy(seed uint64) []adaptive.Outcome {
+	scenario := adaptive.Scenario{
+		Frames: 600, FrameFPS: 4,
+		DuskFrom: 200, DuskTo: 400,
+		OutageFrom: 450, OutageTo: 550, OutagePenaltyMS: 400,
+		Seed: seed,
+	}
+	arms := adaptive.DefaultArms(device.OrinNano, 25)
+	out := make([]adaptive.Outcome, 0, len(arms)+1)
+	for _, a := range arms {
+		out = append(out, adaptive.RunStatic(scenario, a))
+	}
+	out = append(out, adaptive.RunAdaptive(scenario, arms, 0, adaptive.Config{Window: 10, FailHi: 0.05}))
+	return out
+}
+
+// WriteAdaptiveStudy renders the adaptive-deployment comparison.
+func WriteAdaptiveStudy(w io.Writer, outcomes []adaptive.Outcome) {
+	divider(w, "Extension: accuracy-aware adaptive deployment (paper §5 future work)")
+	fmt.Fprintf(w, "%-24s %10s %11s %12s %9s %8s\n",
+		"policy", "detect%", "deadline%", "mean-lat", "switches", "reward")
+	for _, o := range outcomes {
+		fmt.Fprintf(w, "%-24s %9.1f%% %10.1f%% %10.0fms %9d %8.3f\n",
+			o.Policy, o.DetectionRate*100, o.DeadlineRate*100, o.MeanLatencyMS, o.Switches, o.Reward)
+	}
+}

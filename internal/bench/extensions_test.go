@@ -1,0 +1,103 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"ocularone/internal/device"
+	"ocularone/internal/models"
+)
+
+func TestEfficiencyRows(t *testing.T) {
+	rows := RunEfficiency()
+	if len(rows) != len(models.AllIDs)*len(device.AllIDs) {
+		t.Fatalf("rows %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.FPS <= 0 || r.FPSPerDollar <= 0 || r.FPSPerWatt <= 0 || r.JoulesFrame <= 0 {
+			t.Fatalf("degenerate row %+v", r)
+		}
+	}
+	// The cheap Jetsons beat the workstation on fps/$ for the nano model
+	// (edge economics), while the workstation wins raw fps.
+	var nxRow, rtxRow EfficiencyRow
+	for _, r := range rows {
+		if r.Model == models.V8Nano && r.Device == device.XavierNX {
+			nxRow = r
+		}
+		if r.Model == models.V8Nano && r.Device == device.RTX4090 {
+			rtxRow = r
+		}
+	}
+	if rtxRow.FPS <= nxRow.FPS {
+		t.Fatal("workstation not faster in raw fps")
+	}
+	if nxRow.FPSPerWatt <= rtxRow.FPSPerWatt {
+		t.Fatalf("edge not more power-efficient: nx %.2f vs rtx %.2f fps/W",
+			nxRow.FPSPerWatt, rtxRow.FPSPerWatt)
+	}
+	var sb strings.Builder
+	WriteEfficiency(&sb, rows)
+	if !strings.Contains(sb.String(), "fps/k$") {
+		t.Fatal("render incomplete")
+	}
+}
+
+func TestAdaptiveStudyOutcomes(t *testing.T) {
+	outcomes := RunAdaptiveStudy(42)
+	if len(outcomes) != 4 {
+		t.Fatalf("outcomes %d", len(outcomes))
+	}
+	adaptiveOut := outcomes[len(outcomes)-1]
+	if adaptiveOut.Policy != "adaptive" {
+		t.Fatalf("last outcome %q", adaptiveOut.Policy)
+	}
+	// The adaptive policy at least matches the best static reward.
+	bestStatic := 0.0
+	for _, o := range outcomes[:3] {
+		if o.Reward > bestStatic {
+			bestStatic = o.Reward
+		}
+	}
+	if adaptiveOut.Reward < bestStatic-0.01 {
+		t.Fatalf("adaptive reward %.3f below best static %.3f", adaptiveOut.Reward, bestStatic)
+	}
+	var sb strings.Builder
+	WriteAdaptiveStudy(&sb, outcomes)
+	if !strings.Contains(sb.String(), "adaptive") {
+		t.Fatal("render incomplete")
+	}
+}
+
+func TestCSVFig5(t *testing.T) {
+	cells := RunFig5(Scale{Data: 0.01, TimingFrames: 20, W: 320, H: 240, Seed: 1, TrainFrac: 0.2})
+	var sb strings.Builder
+	if err := CSVFig5(&sb, cells); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != len(cells)+1 {
+		t.Fatalf("csv rows %d, want %d", len(lines), len(cells)+1)
+	}
+	if !strings.HasPrefix(lines[0], "model,device,median_ms") {
+		t.Fatalf("header %q", lines[0])
+	}
+	if !strings.Contains(sb.String(), "yolov8x,nx,") {
+		t.Fatal("missing expected cell")
+	}
+}
+
+func TestCSVAccuracy(t *testing.T) {
+	st := RunAccuracyStudy(Scale{Data: 0.01, TimingFrames: 10, W: 320, H: 240, Seed: 42, TrainFrac: 0.2})
+	var sb strings.Builder
+	if err := CSVAccuracy(&sb, st); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 12+1 { // 6 models × 2 test sets + header
+		t.Fatalf("csv rows %d", len(lines))
+	}
+	if !strings.Contains(sb.String(), "v11m,adversarial,") {
+		t.Fatal("missing expected row")
+	}
+}

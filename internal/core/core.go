@@ -1,0 +1,237 @@
+// Package core is the top-level API of Ocularone-Bench: a Suite that
+// regenerates every table and figure of the paper at a configurable
+// scale, plus helpers for assembling the full VIP-assistance stack
+// (detector + pose + depth) that the examples and the pipeline use.
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"ocularone/internal/bench"
+	"ocularone/internal/dataset"
+	"ocularone/internal/depth"
+	"ocularone/internal/detect"
+	"ocularone/internal/models"
+	"ocularone/internal/pose"
+	"ocularone/internal/scene"
+)
+
+// Suite runs Ocularone-Bench experiments.
+type Suite struct {
+	Scale bench.Scale
+}
+
+// New returns a suite at the given scale. Use bench.CIScale for a
+// seconds-scale run and bench.FullScale for the paper-scale protocol.
+func New(sc bench.Scale) *Suite {
+	return &Suite{Scale: sc}
+}
+
+// Experiment is a named, runnable reproduction target.
+type Experiment struct {
+	Name string
+	Desc string
+	Run  func(s *Suite, w io.Writer) error
+}
+
+// experiments maps experiment IDs to runners. Keys match the paper's
+// table/figure numbering.
+var experiments = map[string]Experiment{
+	"table1": {
+		Name: "table1", Desc: "Dataset summary (Table 1)",
+		Run: func(s *Suite, w io.Writer) error {
+			bench.WriteTable1(w, bench.Table1(s.Scale))
+			return nil
+		},
+	},
+	"table2": {
+		Name: "table2", Desc: "DNN model specifications (Table 2)",
+		Run: func(s *Suite, w io.Writer) error {
+			bench.WriteTable2(w, bench.Table2())
+			return nil
+		},
+	},
+	"table3": {
+		Name: "table3", Desc: "Edge device specifications (Table 3)",
+		Run: func(s *Suite, w io.Writer) error {
+			bench.WriteTable3(w, bench.Table3())
+			return nil
+		},
+	},
+	"fig1": {
+		Name: "fig1", Desc: "Curation study: random vs curated training data (Fig. 1)",
+		Run: func(s *Suite, w io.Writer) error {
+			bench.WriteFig1(w, bench.RunFig1(s.Scale))
+			return nil
+		},
+	},
+	"fig3": {
+		Name: "fig3", Desc: "RT YOLO accuracy on diverse dataset (Fig. 3)",
+		Run: func(s *Suite, w io.Writer) error {
+			bench.RunAccuracyStudy(s.Scale).WriteFig3(w)
+			return nil
+		},
+	},
+	"fig4": {
+		Name: "fig4", Desc: "RT YOLO accuracy on adversarial dataset (Fig. 4)",
+		Run: func(s *Suite, w io.Writer) error {
+			bench.RunAccuracyStudy(s.Scale).WriteFig4(w)
+			return nil
+		},
+	},
+	"fig3+4": {
+		Name: "fig3+4", Desc: "Both accuracy figures from one training pass",
+		Run: func(s *Suite, w io.Writer) error {
+			st := bench.RunAccuracyStudy(s.Scale)
+			st.WriteFig3(w)
+			st.WriteFig4(w)
+			return nil
+		},
+	},
+	"fig5": {
+		Name: "fig5", Desc: "Inference times on Jetson edge devices (Fig. 5)",
+		Run: func(s *Suite, w io.Writer) error {
+			bench.WriteFig5(w, bench.RunFig5(s.Scale))
+			return nil
+		},
+	},
+	"fig6": {
+		Name: "fig6", Desc: "Inference times on RTX 4090 workstation (Fig. 6)",
+		Run: func(s *Suite, w io.Writer) error {
+			bench.WriteFig6(w, bench.RunFig6(s.Scale))
+			return nil
+		},
+	},
+	"ablations": {
+		Name: "ablations", Desc: "Design-choice ablations (DESIGN.md §5)",
+		Run: func(s *Suite, w io.Writer) error {
+			bench.WriteAblations(w, []bench.AblationResult{
+				bench.RunAblationContrastNorm(s.Scale),
+				bench.RunAblationStripeCheck(s.Scale),
+				bench.RunAblationMemoryTerm(),
+			})
+			return nil
+		},
+	},
+	"ext-adaptive": {
+		Name: "ext-adaptive", Desc: "Future work: accuracy-aware adaptive edge-cloud deployment",
+		Run: func(s *Suite, w io.Writer) error {
+			bench.WriteAdaptiveStudy(w, bench.RunAdaptiveStudy(s.Scale.Seed))
+			return nil
+		},
+	},
+	"ext-efficiency": {
+		Name: "ext-efficiency", Desc: "Extension: throughput per dollar / per watt across devices",
+		Run: func(s *Suite, w io.Writer) error {
+			bench.WriteEfficiency(w, bench.RunEfficiency())
+			return nil
+		},
+	},
+}
+
+// ExperimentNames lists the available experiment IDs in a stable order.
+func ExperimentNames() []string {
+	names := make([]string, 0, len(experiments))
+	for n := range experiments {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Describe returns the one-line description of an experiment.
+func Describe(name string) (string, bool) {
+	e, ok := experiments[name]
+	return e.Desc, ok
+}
+
+// Run executes one named experiment, writing its rows to w.
+func (s *Suite) Run(name string, w io.Writer) error {
+	e, ok := experiments[name]
+	if !ok {
+		return fmt.Errorf("core: unknown experiment %q (available: %v)", name, ExperimentNames())
+	}
+	return e.Run(s, w)
+}
+
+// RunAll executes every experiment except the redundant combined runner.
+func (s *Suite) RunAll(w io.Writer) error {
+	order := []string{"table1", "table2", "table3", "fig1", "fig3+4", "fig5", "fig6", "ablations", "ext-adaptive", "ext-efficiency"}
+	for _, name := range order {
+		if err := s.Run(name, w); err != nil {
+			return fmt.Errorf("core: experiment %s: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// Stack is the assembled VIP-assistance analytics stack.
+type Stack struct {
+	Detector *detect.Detector
+	Fall     *pose.FallClassifier
+	Depth    *depth.Estimator
+	Split    dataset.Split
+}
+
+// BuildStack trains a full analytics stack at the suite's scale: a vest
+// detector of the requested variant, a fall classifier over rendered
+// poses, and a calibrated depth estimator.
+func (s *Suite) BuildStack(family models.Family, size models.Size) (*Stack, error) {
+	ds := dataset.Build(dataset.Config{Scale: s.Scale.Data, W: s.Scale.W, H: s.Scale.H, Seed: s.Scale.Seed})
+	sp := ds.StratifiedSplit(s.Scale.TrainFrac)
+	st := &Stack{Split: sp}
+	st.Detector = detect.TrainDataset(detect.TierFor(family, size), sp.Train)
+
+	// Fall classifier: rendered standing/walking/fallen poses.
+	var ests []pose.Estimate
+	var labels []bool
+	cam := scene.DefaultCamera(s.Scale.W, s.Scale.H, 1.6)
+	for i := 0; i < 60; i++ {
+		p := scene.Walking
+		fallen := i%2 == 0
+		if fallen {
+			p = scene.Fallen
+		}
+		sc := &scene.Scene{
+			Background: scene.Background(i % 3), Lighting: 1.0, CamHeightM: 1.6,
+			Seed: s.Scale.Seed + uint64(i)*31,
+			Entities: []scene.Entity{{
+				Kind: scene.VIP, X: 0, Depth: 4 + float64(i%5), HeightM: 1.7, Pose: p,
+				Shirt: [3]uint8{60, 60, 160}, Pants: [3]uint8{40, 40, 60},
+			}},
+		}
+		im, gt := scene.Render(sc, cam)
+		box := gt.PersonBox
+		box.X0 -= 6
+		box.Y0 -= 6
+		box.X1 += 6
+		box.Y1 += 6
+		if est, ok := pose.Analyze(im, box); ok {
+			ests = append(ests, est)
+			labels = append(labels, fallen)
+		}
+	}
+	if len(ests) < 10 {
+		return nil, fmt.Errorf("core: only %d pose estimates for fall training", len(ests))
+	}
+	st.Fall = pose.TrainFall(ests, labels, s.Scale.Seed)
+
+	// Depth calibration from training frames.
+	var frames []depth.CalibrationFrame
+	n := sp.Train.Len()
+	if n > 5 {
+		n = 5
+	}
+	for i := 0; i < n; i++ {
+		r := sp.Train.Render(sp.Train.Items[i])
+		frames = append(frames, depth.CalibrationFrame{Image: r.Image, Truth: r.Truth})
+	}
+	var est depth.Estimator
+	if err := est.Fit(frames); err != nil {
+		return nil, fmt.Errorf("core: depth calibration: %w", err)
+	}
+	st.Depth = &est
+	return st, nil
+}

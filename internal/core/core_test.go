@@ -1,0 +1,111 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"ocularone/internal/bench"
+	"ocularone/internal/models"
+)
+
+var testScale = bench.Scale{Data: 0.01, TimingFrames: 20, W: 320, H: 240, Seed: 42, TrainFrac: 0.2}
+
+func TestExperimentNamesStable(t *testing.T) {
+	names := ExperimentNames()
+	if len(names) < 8 {
+		t.Fatalf("experiments: %v", names)
+	}
+	for _, want := range []string{"table1", "table2", "table3", "fig1", "fig3", "fig4", "fig5", "fig6", "ablations"} {
+		if _, ok := Describe(want); !ok {
+			t.Fatalf("missing experiment %s", want)
+		}
+	}
+	if _, ok := Describe("nope"); ok {
+		t.Fatal("unknown experiment described")
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	s := New(testScale)
+	if err := s.Run("nope", &strings.Builder{}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunCheapExperiments(t *testing.T) {
+	s := New(testScale)
+	for _, name := range []string{"table1", "table3", "fig5", "fig6"} {
+		var sb strings.Builder
+		if err := s.Run(name, &sb); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if sb.Len() == 0 {
+			t.Fatalf("%s produced no output", name)
+		}
+	}
+}
+
+func TestRunFig1(t *testing.T) {
+	s := New(testScale)
+	var sb strings.Builder
+	if err := s.Run("fig1", &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "curated") {
+		t.Fatal("fig1 output incomplete")
+	}
+}
+
+func TestBuildStack(t *testing.T) {
+	s := New(testScale)
+	st, err := s.BuildStack(models.YOLOv8, models.Medium)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Detector == nil || st.Fall == nil || st.Depth == nil {
+		t.Fatal("stack incomplete")
+	}
+	if !st.Depth.Trained {
+		t.Fatal("depth estimator untrained")
+	}
+	if st.Split.Train.Len() == 0 || st.Split.Test.Len() == 0 {
+		t.Fatal("split empty")
+	}
+	// The stack's detector works on its own test split.
+	r := st.Split.Test.Render(st.Split.Test.Items[0])
+	_ = st.Detector.Detect(r.Image) // must not panic
+}
+
+func TestRunAllMicroScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment incl. model builds")
+	}
+	s := New(bench.Scale{Data: 0.005, TimingFrames: 10, W: 320, H: 240, Seed: 42, TrainFrac: 0.25})
+	var sb strings.Builder
+	if err := s.RunAll(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"Table 1", "Table 2", "Table 3",
+		"Fig. 1", "Fig. 3", "Fig. 4", "Fig. 5", "Fig. 6",
+		"Ablations", "adaptive", "fps/k$",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("RunAll output missing %q", want)
+		}
+	}
+}
+
+func TestRunExtensionExperiments(t *testing.T) {
+	s := New(testScale)
+	for _, name := range []string{"ext-adaptive"} {
+		var sb strings.Builder
+		if err := s.Run(name, &sb); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if sb.Len() == 0 {
+			t.Fatalf("%s produced no output", name)
+		}
+	}
+}

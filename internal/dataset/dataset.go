@@ -1,0 +1,322 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+
+	"ocularone/internal/imgproc"
+	"ocularone/internal/rng"
+	"ocularone/internal/scene"
+)
+
+// Item is a lightweight descriptor of one dataset image. The pixel data
+// is rendered on demand by Render, keeping paper-scale datasets (30,711
+// items) cheap to hold.
+type Item struct {
+	Category CategoryID
+	Index    int
+	Seed     uint64
+	Attack   Attack // NoAttack for diverse categories
+	// BoxJitter > 0 degrades the vest annotation when the item is
+	// rendered: corners shift by Norm·jitter·dim and a fraction of boxes
+	// are grossly wrong. It models the label noise of uncurated scrapes
+	// (the "1k random images" baseline of Fig. 1); curated items have 0.
+	BoxJitter float64
+}
+
+// Dataset is an ordered collection of item descriptors sharing one render
+// configuration.
+type Dataset struct {
+	Items []Item
+	W, H  int
+	Seed  uint64
+}
+
+// Config controls dataset construction.
+type Config struct {
+	// Scale multiplies every Table-1 category count (1.0 = paper scale,
+	// 30,711 items). Values in (0,1] shrink proportionally with a floor of
+	// one item per category.
+	Scale float64
+	// W, H are the rendered frame dimensions (default 320×240).
+	W, H int
+	Seed uint64
+}
+
+func (c *Config) defaults() {
+	if c.Scale <= 0 {
+		c.Scale = 1
+	}
+	if c.W <= 0 {
+		c.W = 320
+	}
+	if c.H <= 0 {
+		c.H = 240
+	}
+}
+
+// Build constructs the full Table-1 dataset at the configured scale. Item
+// counts per category are PaperCount×Scale rounded half-up with a floor
+// of 1, so the category mix matches the paper at any scale.
+func Build(cfg Config) *Dataset {
+	cfg.defaults()
+	root := rng.New(cfg.Seed)
+	ds := &Dataset{W: cfg.W, H: cfg.H, Seed: cfg.Seed}
+	for _, cat := range Taxonomy {
+		n := int(math.Round(float64(cat.PaperCount) * cfg.Scale))
+		if n < 1 {
+			n = 1
+		}
+		catRNG := root.Split("category-" + string(cat.ID))
+		for i := 0; i < n; i++ {
+			it := Item{
+				Category: cat.ID,
+				Index:    i,
+				Seed:     catRNG.SplitN("item", i).Uint64(),
+			}
+			if cat.Adversarial {
+				it.Attack = randomAttack(rng.New(it.Seed).Split("attack"))
+			}
+			ds.Items = append(ds.Items, it)
+		}
+	}
+	return ds
+}
+
+// Len returns the number of items.
+func (d *Dataset) Len() int { return len(d.Items) }
+
+// CountByCategory tallies items per category ID.
+func (d *Dataset) CountByCategory() map[CategoryID]int {
+	out := make(map[CategoryID]int)
+	for _, it := range d.Items {
+		out[it.Category]++
+	}
+	return out
+}
+
+// Rendered is a realised dataset item: pixels plus adjusted ground truth.
+type Rendered struct {
+	Item  Item
+	Image *imgproc.Image
+	Truth *scene.GroundTruth
+}
+
+// Render realises one item: builds its scene, renders it, and applies the
+// adversarial attack (if any), adjusting the ground-truth boxes through
+// the transform.
+func (d *Dataset) Render(it Item) Rendered {
+	cat := CategoryByID(it.Category)
+	if cat == nil {
+		panic(fmt.Sprintf("dataset: unknown category %q", it.Category))
+	}
+	r := rng.New(it.Seed)
+	s := sampleScene(cat, r)
+	cam := scene.DefaultCamera(d.W, d.H, s.CamHeightM)
+	im, gt := scene.Render(s, cam)
+	if it.Attack.Kind != NoAttack {
+		im, gt = ApplyAttack(im, gt, it.Attack, r.Split("attack-apply"))
+	}
+	if it.BoxJitter > 0 && gt.HasVIP && !gt.VestBox.Empty() {
+		ngt := *gt
+		ngt.VestBox = jitterBox(gt.VestBox, it.BoxJitter, d.W, d.H, r.Split("label-noise"))
+		gt = &ngt
+	}
+	return Rendered{Item: it, Image: im, Truth: gt}
+}
+
+// sampleScene draws a scene satisfying the category's constraints.
+func sampleScene(cat *Category, r *rng.RNG) *scene.Scene {
+	bg := cat.Background
+	if cat.MixedBg {
+		bg = scene.Background(r.Intn(3))
+	}
+	span := func(lim [2]int) int {
+		if lim[1] <= lim[0] {
+			return lim[0]
+		}
+		return lim[0] + r.Intn(lim[1]-lim[0]+1)
+	}
+	s := &scene.Scene{
+		Background: bg,
+		Lighting:   r.Range(0.85, 1.15),
+		CamHeightM: r.Range(1.2, 2.4),
+		Clutter:    r.Float64(),
+		Seed:       r.Uint64(),
+	}
+	vip := scene.Entity{
+		Kind:    scene.VIP,
+		X:       r.Range(-1.2, 1.2),
+		Depth:   r.Range(3, 9), // buddy-drone following distance
+		HeightM: r.Range(1.6, 1.85),
+		Pose:    scene.Walking,
+		Shirt:   [3]uint8{70, 70, 90},
+		Pants:   [3]uint8{40, 40, 60},
+	}
+	vip.WalkPhase = r.Float64()
+	if r.Bool(0.15) {
+		vip.Pose = scene.Standing
+	}
+	s.Entities = append(s.Entities, vip)
+	for i, n := 0, span(cat.Pedestrians); i < n; i++ {
+		e := scene.RandomEntity(r.SplitN("ped", i), scene.Pedestrian)
+		s.Entities = append(s.Entities, e)
+	}
+	for i, n := 0, span(cat.Bicycles); i < n; i++ {
+		s.Entities = append(s.Entities, scene.RandomEntity(r.SplitN("bike", i), scene.Bicycle))
+	}
+	for i, n := 0, span(cat.ParkedCars); i < n; i++ {
+		e := scene.RandomEntity(r.SplitN("car", i), scene.ParkedCar)
+		e.X = r.Range(2.4, 3.6)
+		s.Entities = append(s.Entities, e)
+	}
+	return s
+}
+
+// Filter returns the subset of items satisfying keep, preserving order.
+func (d *Dataset) Filter(keep func(Item) bool) *Dataset {
+	out := &Dataset{W: d.W, H: d.H, Seed: d.Seed}
+	for _, it := range d.Items {
+		if keep(it) {
+			out.Items = append(out.Items, it)
+		}
+	}
+	return out
+}
+
+// Diverse returns the non-adversarial subset (categories 1–4).
+func (d *Dataset) Diverse() *Dataset {
+	return d.Filter(func(it Item) bool { return it.Category != "5" })
+}
+
+// Adversarial returns the adversarial subset (category 5).
+func (d *Dataset) Adversarial() *Dataset {
+	return d.Filter(func(it Item) bool { return it.Category == "5" })
+}
+
+// Split holds the paper's three-way protocol: ≈10% of each category as
+// training data, split 80:20 into train/val; everything else is test.
+type Split struct {
+	Train, Val, Test *Dataset
+}
+
+// StratifiedSplit reproduces the paper's §3.1 protocol: sample trainFrac
+// of each category for training (80:20 train:val), leaving the remainder
+// for test. Sampling is deterministic in the dataset seed.
+func (d *Dataset) StratifiedSplit(trainFrac float64) Split {
+	root := rng.New(d.Seed).Split("split")
+	byCat := make(map[CategoryID][]Item)
+	var order []CategoryID
+	for _, it := range d.Items {
+		if _, seen := byCat[it.Category]; !seen {
+			order = append(order, it.Category)
+		}
+		byCat[it.Category] = append(byCat[it.Category], it)
+	}
+	sp := Split{
+		Train: &Dataset{W: d.W, H: d.H, Seed: d.Seed},
+		Val:   &Dataset{W: d.W, H: d.H, Seed: d.Seed},
+		Test:  &Dataset{W: d.W, H: d.H, Seed: d.Seed},
+	}
+	for _, cat := range order {
+		items := byCat[cat]
+		perm := root.Split("perm-" + string(cat)).Perm(len(items))
+		nTrainPool := int(math.Round(float64(len(items)) * trainFrac))
+		if nTrainPool < 1 {
+			nTrainPool = 1
+		}
+		if nTrainPool > len(items) {
+			nTrainPool = len(items)
+		}
+		nVal := nTrainPool / 5 // 80:20
+		for i, pi := range perm {
+			switch {
+			case i < nTrainPool-nVal:
+				sp.Train.Items = append(sp.Train.Items, items[pi])
+			case i < nTrainPool:
+				sp.Val.Items = append(sp.Val.Items, items[pi])
+			default:
+				sp.Test.Items = append(sp.Test.Items, items[pi])
+			}
+		}
+	}
+	return sp
+}
+
+// RandomSample returns n items drawn uniformly without replacement — the
+// paper's "1k random images" baseline in Fig. 1. It panics if n exceeds
+// the dataset size.
+func (d *Dataset) RandomSample(n int, seed uint64) *Dataset {
+	if n > len(d.Items) {
+		panic(fmt.Sprintf("dataset: sample %d from %d items", n, len(d.Items)))
+	}
+	perm := rng.New(seed).Perm(len(d.Items))
+	out := &Dataset{W: d.W, H: d.H, Seed: d.Seed}
+	for _, pi := range perm[:n] {
+		out.Items = append(out.Items, d.Items[pi])
+	}
+	return out
+}
+
+// WithBoxJitter returns a copy of the dataset whose items carry degraded
+// vest annotations, simulating an uncurated scrape. sigma is the corner
+// displacement as a fraction of the box dimension (≈0.35 reproduces
+// Roboflow-universe quality).
+func (d *Dataset) WithBoxJitter(sigma float64) *Dataset {
+	out := &Dataset{W: d.W, H: d.H, Seed: d.Seed}
+	out.Items = append([]Item(nil), d.Items...)
+	for i := range out.Items {
+		out.Items[i].BoxJitter = sigma
+	}
+	return out
+}
+
+// jitterBox displaces box corners by Norm·sigma·dim; a small fraction of
+// annotations miss the vest entirely.
+func jitterBox(b imgproc.Rect, sigma float64, w, h int, r *rng.RNG) imgproc.Rect {
+	if r.Bool(0.08) {
+		// Grossly wrong annotation: a random background region.
+		bw, bh := b.W(), b.H()
+		x0 := r.Intn(maxI(1, w-bw))
+		y0 := r.Intn(maxI(1, h-bh))
+		return imgproc.Rect{X0: x0, Y0: y0, X1: x0 + bw, Y1: y0 + bh}.Clamp(w, h)
+	}
+	dx := float64(b.W()) * sigma
+	dy := float64(b.H()) * sigma
+	nb := imgproc.Rect{
+		X0: b.X0 + int(r.NormRange(0, dx)),
+		Y0: b.Y0 + int(r.NormRange(0, dy)),
+		X1: b.X1 + int(r.NormRange(0, dx)),
+		Y1: b.Y1 + int(r.NormRange(0, dy)),
+	}
+	if nb.X1 <= nb.X0 {
+		nb.X1 = nb.X0 + 1
+	}
+	if nb.Y1 <= nb.Y0 {
+		nb.Y1 = nb.Y0 + 1
+	}
+	nb = nb.Clamp(w, h)
+	if nb.Empty() {
+		// An extreme draw pushed the annotation fully out of frame; a
+		// human annotator would still place *some* box — keep the
+		// original, clamped.
+		return b.Clamp(w, h)
+	}
+	return nb
+}
+
+func maxI(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Subset returns the first n items (cheap deterministic truncation for
+// scaled benchmark protocols).
+func (d *Dataset) Subset(n int) *Dataset {
+	if n > len(d.Items) {
+		n = len(d.Items)
+	}
+	return &Dataset{Items: d.Items[:n], W: d.W, H: d.H, Seed: d.Seed}
+}

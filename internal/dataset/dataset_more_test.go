@@ -1,0 +1,155 @@
+package dataset
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ocularone/internal/imgproc"
+	"ocularone/internal/rng"
+)
+
+func TestWithBoxJitterFlagsItems(t *testing.T) {
+	ds := Build(Config{Scale: 0.005, Seed: 31, W: 160, H: 120})
+	noisy := ds.WithBoxJitter(0.4)
+	if noisy.Len() != ds.Len() {
+		t.Fatal("jitter changed item count")
+	}
+	for _, it := range noisy.Items {
+		if it.BoxJitter != 0.4 {
+			t.Fatal("jitter not applied to all items")
+		}
+	}
+	// Original untouched.
+	for _, it := range ds.Items {
+		if it.BoxJitter != 0 {
+			t.Fatal("WithBoxJitter mutated the source dataset")
+		}
+	}
+}
+
+func TestJitteredRenderDegradesBoxes(t *testing.T) {
+	ds := Build(Config{Scale: 0.005, Seed: 31, W: 320, H: 240})
+	noisy := ds.WithBoxJitter(0.5)
+	moved := 0
+	checked := 0
+	for i := 0; i < 20 && i < ds.Len(); i++ {
+		clean := ds.Render(ds.Items[i])
+		dirty := noisy.Render(noisy.Items[i])
+		if !clean.Truth.HasVIP {
+			continue
+		}
+		checked++
+		if clean.Truth.VestBox.IoU(dirty.Truth.VestBox) < 0.9 {
+			moved++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no VIP items checked")
+	}
+	if moved < checked/2 {
+		t.Fatalf("only %d/%d jittered boxes moved", moved, checked)
+	}
+}
+
+// Property: jitterBox always returns a non-empty box inside the frame.
+func TestQuickJitterBoxBounds(t *testing.T) {
+	f := func(seed uint64, x0, y0 uint8) bool {
+		r := rng.New(seed)
+		b := imgproc.Rect{X0: int(x0 % 100), Y0: int(y0 % 80)}
+		b.X1 = b.X0 + 20
+		b.Y1 = b.Y0 + 20
+		out := jitterBox(b, 0.5, 160, 120, r)
+		return !out.Empty() && out == out.Clamp(160, 120)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLowLightBlurAttack(t *testing.T) {
+	ds := Build(Config{Scale: 0.002, Seed: 33, W: 160, H: 120})
+	it := ds.Diverse().Items[0]
+	plain := ds.Render(it)
+	it.Attack = Attack{Kind: LowLightBlur, Brightness: 0.3, Sigma: 2}
+	hard := ds.Render(it)
+	if hard.Image.Luma() >= plain.Image.Luma()*0.6 {
+		t.Fatal("combo attack did not darken")
+	}
+}
+
+func TestApplyAttackUnknownPanics(t *testing.T) {
+	ds := Build(Config{Scale: 0.002, Seed: 34, W: 160, H: 120})
+	r := ds.Render(ds.Items[0])
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for unknown attack kind")
+		}
+	}()
+	ApplyAttack(r.Image, r.Truth, Attack{Kind: AttackKind(99)}, rng.New(1))
+}
+
+func TestRenderUnknownCategoryPanics(t *testing.T) {
+	ds := Build(Config{Scale: 0.002, Seed: 35})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	ds.Render(Item{Category: "bogus"})
+}
+
+func TestRandomSamplePanicsWhenOversized(t *testing.T) {
+	ds := Build(Config{Scale: 0.002, Seed: 36})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	ds.RandomSample(ds.Len()+1, 1)
+}
+
+func TestCropAttackTinyFractionNoop(t *testing.T) {
+	ds := Build(Config{Scale: 0.002, Seed: 37, W: 160, H: 120})
+	it := ds.Diverse().Items[0]
+	r := ds.Render(it)
+	// A crop fraction so small the window degenerates: returns input.
+	out, gt := ApplyAttack(r.Image, r.Truth, Attack{Kind: CroppedImage, CropFrac: 0.01}, rng.New(2))
+	if out != r.Image || gt != r.Truth {
+		t.Fatal("degenerate crop did not fall back to the original frame")
+	}
+}
+
+func TestItemIDFormat(t *testing.T) {
+	id := ItemID(Item{Category: "3d", Index: 42})
+	if id != "cat3d_000042" {
+		t.Fatalf("item id %q", id)
+	}
+}
+
+func TestFogAttack(t *testing.T) {
+	ds := Build(Config{Scale: 0.002, Seed: 38, W: 160, H: 120})
+	it := ds.Diverse().Items[0]
+	plain := ds.Render(it)
+	it.Attack = Attack{Kind: Fog, Brightness: 0.5, Sigma: 1}
+	foggy := ds.Render(it)
+	// Fog compresses contrast toward the haze tone: per-pixel spread of
+	// the foggy frame must shrink.
+	spread := func(im *imgproc.Image) float64 {
+		lo, hi := 255, 0
+		for _, v := range im.Pix {
+			if int(v) < lo {
+				lo = int(v)
+			}
+			if int(v) > hi {
+				hi = int(v)
+			}
+		}
+		return float64(hi - lo)
+	}
+	if spread(foggy.Image) >= spread(plain.Image)*0.8 {
+		t.Fatalf("fog did not compress contrast: %v vs %v", spread(foggy.Image), spread(plain.Image))
+	}
+	if Fog.String() != "fog" {
+		t.Fatal("fog name")
+	}
+}

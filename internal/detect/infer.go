@@ -1,0 +1,274 @@
+package detect
+
+import (
+	"math"
+	"sort"
+
+	"ocularone/internal/imgproc"
+)
+
+// Box is one vest detection in original-image pixel coordinates.
+type Box struct {
+	Rect  imgproc.Rect
+	Score float64
+}
+
+// Detect finds hazard vests in the frame. The pipeline is:
+//
+//  1. optional local contrast normalisation (ContrastNorm tiers),
+//  2. downscale to the tier's analysis resolution,
+//  3. per-pixel colour-model matching against the learned clusters,
+//  4. connected-component extraction with geometric filtering,
+//  5. optional reflective-stripe verification (StripeCheck tiers) that
+//     rescues candidates whose colour fill is marginal,
+//  6. greedy NMS, boxes mapped back to input coordinates.
+//
+// Detect is safe for concurrent use; the detector is immutable after
+// training.
+func (d *Detector) Detect(im *imgproc.Image) []Box {
+	if len(d.Clusters) == 0 {
+		return nil
+	}
+	work := im
+	if d.Tier.ContrastNorm {
+		work = imgproc.LocalContrastNormalize(im, im.W/5)
+	}
+	rw := d.Tier.Resolution
+	rh := rw * im.H / im.W
+	if rh < 8 {
+		rh = 8
+	}
+	small := imgproc.Resize(work, rw, rh)
+
+	mask := d.matchMask(small)
+	// Morphological closing bridges the reflective stripes, which split
+	// the neon panel into disconnected slivers at analysis resolution.
+	// The stripe width scales with resolution, so the closing radius must
+	// too.
+	cr := rw / 100
+	if cr < 1 {
+		cr = 1
+	}
+	mask = dilate(mask, rw, rh, cr)
+	mask = erode(mask, rw, rh, cr)
+	cands := components(mask, rw, rh)
+
+	minArea := (rw * rh) / 1500 // vest must cover ≥ ~0.07% of the frame
+	if minArea < 4 {
+		minArea = 4
+	}
+	var boxes []Box
+	sx := float64(im.W) / float64(rw)
+	sy := float64(im.H) / float64(rh)
+	for _, c := range cands {
+		if c.area < minArea {
+			continue
+		}
+		bw, bh := c.rect.W(), c.rect.H()
+		if bw == 0 || bh == 0 {
+			continue
+		}
+		aspect := float64(bh) / float64(bw)
+		if aspect < 0.25 || aspect > 3.5 {
+			continue
+		}
+		fill := float64(c.area) / float64(bw*bh)
+		accepted := fill >= d.Tier.FillThreshold
+		score := fill
+		if d.Tier.StripeCheck && (accepted && fill < 0.5 || !accepted && fill >= d.Tier.FillThreshold*0.8) {
+			// Reflective-stripe verification in the full-res candidate
+			// region: a veto for low-confidence accepts (noise blobs have
+			// no stripes) and a rescue for borderline colour fills.
+			full := imgproc.Rect{
+				X0: int(float64(c.rect.X0) * sx), Y0: int(float64(c.rect.Y0) * sy),
+				X1: int(float64(c.rect.X1)*sx) + 1, Y1: int(float64(c.rect.Y1)*sy) + 1,
+			}.Clamp(im.W, im.H)
+			if hasStripes(work, full) {
+				accepted = true
+				score = fill + 0.1
+			} else {
+				accepted = false
+			}
+		}
+		if !accepted {
+			continue
+		}
+		boxes = append(boxes, Box{
+			Rect: imgproc.Rect{
+				X0: int(float64(c.rect.X0) * sx), Y0: int(float64(c.rect.Y0) * sy),
+				X1: int(float64(c.rect.X1)*sx) + 1, Y1: int(float64(c.rect.Y1)*sy) + 1,
+			}.Clamp(im.W, im.H),
+			Score: score,
+		})
+	}
+	return nmsBoxes(boxes, 0.5)
+}
+
+// matchMask marks pixels accepted by any colour cluster.
+func (d *Detector) matchMask(im *imgproc.Image) []bool {
+	mask := make([]bool, im.W*im.H)
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			r, g, b := im.At(x, y)
+			h, s, v := imgproc.RGBToHSV(r, g, b)
+			for _, c := range d.Clusters {
+				mh, ms, mv := c.effMargins(d.Tier)
+				dh := math.Abs(h - c.meanH)
+				if dh > 180 {
+					dh = 360 - dh
+				}
+				if dh <= mh*c.stdH && math.Abs(s-c.meanS) <= ms*c.stdS && math.Abs(v-c.meanV) <= mv*c.stdV {
+					mask[y*im.W+x] = true
+					break
+				}
+			}
+		}
+	}
+	return mask
+}
+
+// dilate grows the mask by r pixels (Chebyshev ball).
+func dilate(mask []bool, w, h, r int) []bool {
+	out := make([]bool, len(mask))
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if !mask[y*w+x] {
+				continue
+			}
+			for dy := -r; dy <= r; dy++ {
+				ny := y + dy
+				if ny < 0 || ny >= h {
+					continue
+				}
+				for dx := -r; dx <= r; dx++ {
+					nx := x + dx
+					if nx >= 0 && nx < w {
+						out[ny*w+nx] = true
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// erode shrinks the mask by r pixels (Chebyshev ball).
+func erode(mask []bool, w, h, r int) []bool {
+	out := make([]bool, len(mask))
+	for y := 0; y < h; y++ {
+	pixel:
+		for x := 0; x < w; x++ {
+			for dy := -r; dy <= r; dy++ {
+				ny := y + dy
+				for dx := -r; dx <= r; dx++ {
+					nx := x + dx
+					if ny < 0 || ny >= h || nx < 0 || nx >= w || !mask[ny*w+nx] {
+						continue pixel
+					}
+				}
+			}
+			out[y*w+x] = true
+		}
+	}
+	return out
+}
+
+// component is a connected region of matched pixels.
+type component struct {
+	rect imgproc.Rect
+	area int
+}
+
+// components extracts 4-connected regions from the mask via BFS.
+func components(mask []bool, w, h int) []component {
+	visited := make([]bool, len(mask))
+	var out []component
+	var queue []int
+	for start := range mask {
+		if !mask[start] || visited[start] {
+			continue
+		}
+		queue = queue[:0]
+		queue = append(queue, start)
+		visited[start] = true
+		comp := component{rect: imgproc.Rect{X0: w, Y0: h, X1: 0, Y1: 0}}
+		for len(queue) > 0 {
+			p := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			px, py := p%w, p/w
+			comp.area++
+			if px < comp.rect.X0 {
+				comp.rect.X0 = px
+			}
+			if py < comp.rect.Y0 {
+				comp.rect.Y0 = py
+			}
+			if px+1 > comp.rect.X1 {
+				comp.rect.X1 = px + 1
+			}
+			if py+1 > comp.rect.Y1 {
+				comp.rect.Y1 = py + 1
+			}
+			for _, q := range [4]int{p - 1, p + 1, p - w, p + w} {
+				if q < 0 || q >= len(mask) {
+					continue
+				}
+				// Prevent row wrap-around for horizontal neighbours.
+				if (q == p-1 && px == 0) || (q == p+1 && px == w-1) {
+					continue
+				}
+				if mask[q] && !visited[q] {
+					visited[q] = true
+					queue = append(queue, q)
+				}
+			}
+		}
+		out = append(out, comp)
+	}
+	return out
+}
+
+// hasStripes checks a full-resolution candidate region for the vest's
+// reflective bands: bright, low-saturation pixels forming a meaningful
+// fraction of the region.
+func hasStripes(im *imgproc.Image, r imgproc.Rect) bool {
+	if r.Empty() {
+		return false
+	}
+	bright := 0
+	total := 0
+	for y := r.Y0; y < r.Y1; y++ {
+		for x := r.X0; x < r.X1; x++ {
+			cr, cg, cb := im.At(x, y)
+			_, s, v := imgproc.RGBToHSV(cr, cg, cb)
+			total++
+			if v > 0.55 && s < 0.35 {
+				bright++
+			}
+		}
+	}
+	if total == 0 {
+		return false
+	}
+	frac := float64(bright) / float64(total)
+	return frac >= 0.015 && frac <= 0.5
+}
+
+// nmsBoxes performs greedy NMS keeping the highest-scoring boxes.
+func nmsBoxes(boxes []Box, iouThr float64) []Box {
+	sort.Slice(boxes, func(a, b int) bool { return boxes[a].Score > boxes[b].Score })
+	var keep []Box
+	for _, b := range boxes {
+		ok := true
+		for _, k := range keep {
+			if k.Rect.IoU(b.Rect) > iouThr {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			keep = append(keep, b)
+		}
+	}
+	return keep
+}

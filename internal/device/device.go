@@ -1,0 +1,157 @@
+// Package device models the four evaluation platforms of the paper —
+// three NVIDIA Jetson edge accelerators (Table 3) and the RTX 4090
+// workstation — and predicts per-frame inference latency for each
+// benchmark model with a calibrated roofline model.
+//
+// The paper measures wall-clock inference times of PyTorch 2.0 models;
+// we have no GPU hardware, so latency is *simulated*: each device's
+// sustained throughput is derived from its CUDA core count, clock and
+// architecture efficiency, with a fixed per-inference launch overhead
+// and a utilisation factor for memory-bound (decoder-heavy) models. The
+// calibration constants are documented inline and validated against the
+// ranges the paper reports (DESIGN.md §2, EXPERIMENTS.md).
+package device
+
+import "fmt"
+
+// Arch is a GPU micro-architecture generation.
+type Arch int
+
+// Architectures of the benchmark devices.
+const (
+	Volta Arch = iota
+	Ampere
+)
+
+// String returns the architecture name.
+func (a Arch) String() string {
+	if a == Volta {
+		return "Volta"
+	}
+	return "Ampere"
+}
+
+// ID names one benchmark device.
+type ID int
+
+// Benchmark devices (Table 3 plus the workstation).
+const (
+	OrinAGX ID = iota
+	XavierNX
+	OrinNano
+	RTX4090
+	NumDevices
+)
+
+// String returns the short device name used in figures ("o-agx", "nx",
+// "o-nano" in the paper's §4.2.3).
+func (id ID) String() string {
+	switch id {
+	case OrinAGX:
+		return "o-agx"
+	case XavierNX:
+		return "nx"
+	case OrinNano:
+		return "o-nano"
+	case RTX4090:
+		return "rtx4090"
+	default:
+		return fmt.Sprintf("device(%d)", int(id))
+	}
+}
+
+// EdgeIDs lists the three Jetson devices in Table 3 column order.
+var EdgeIDs = []ID{OrinAGX, XavierNX, OrinNano}
+
+// AllIDs lists every device.
+var AllIDs = []ID{OrinAGX, XavierNX, OrinNano, RTX4090}
+
+// Device is the full specification of one platform, mirroring Table 3.
+type Device struct {
+	ID          ID
+	Name        string
+	Arch        Arch
+	CUDACores   int
+	TensorCores int
+	RAMGB       int
+	Jetpack     string
+	CUDAVersion string
+	PeakPowerW  float64
+	FormFactor  string // mm
+	WeightG     float64
+	PriceUSD    float64
+
+	ClockGHz float64 // sustained GPU clock
+	MemBWGBs float64 // memory bandwidth
+
+	// Calibration constants for the latency model (see latency.go).
+	// SustainedEff is the fraction of peak FP32 throughput a batch-1
+	// PyTorch eager workload sustains; LaunchMS is the fixed per-frame
+	// dispatch overhead.
+	SustainedEff float64
+	LaunchMS     float64
+}
+
+// Registry returns the specification of a device.
+func Registry(id ID) Device {
+	switch id {
+	case OrinAGX:
+		return Device{
+			ID: id, Name: "Jetson Orin AGX", Arch: Ampere,
+			CUDACores: 2048, TensorCores: 64, RAMGB: 32,
+			Jetpack: "6.1", CUDAVersion: "12.6", PeakPowerW: 60,
+			FormFactor: "110x110x72", WeightG: 872.5, PriceUSD: 2370,
+			ClockGHz: 1.30, MemBWGBs: 204.8,
+			// Large GPU, batch-1 eager execution: most SMs idle.
+			SustainedEff: 0.105, LaunchMS: 12,
+		}
+	case XavierNX:
+		return Device{
+			ID: id, Name: "Jetson Xavier NX", Arch: Volta,
+			CUDACores: 384, TensorCores: 48, RAMGB: 8,
+			Jetpack: "5.0.2", CUDAVersion: "11.4", PeakPowerW: 15,
+			FormFactor: "103x90x35", WeightG: 174, PriceUSD: 460,
+			ClockGHz: 1.10, MemBWGBs: 59.7,
+			// Small GPU saturates better, but Volta lacks Ampere's
+			// scheduling improvements.
+			SustainedEff: 0.31, LaunchMS: 18,
+		}
+	case OrinNano:
+		return Device{
+			ID: id, Name: "Jetson Orin Nano", Arch: Ampere,
+			CUDACores: 1024, TensorCores: 32, RAMGB: 8,
+			Jetpack: "5.1.1", CUDAVersion: "11.4", PeakPowerW: 15,
+			FormFactor: "100x79x21", WeightG: 176, PriceUSD: 630,
+			ClockGHz: 0.625, MemBWGBs: 68,
+			SustainedEff: 0.335, LaunchMS: 15,
+		}
+	case RTX4090:
+		return Device{
+			// The paper describes the workstation GPU as Ampere-class
+			// with 16,384 CUDA cores and 512 tensor cores; we follow its
+			// Table/§4.1 description.
+			ID: id, Name: "RTX 4090 workstation", Arch: Ampere,
+			CUDACores: 16384, TensorCores: 512, RAMGB: 24,
+			Jetpack: "-", CUDAVersion: "12.x", PeakPowerW: 450,
+			FormFactor: "workstation", WeightG: 0, PriceUSD: 1599,
+			ClockGHz: 2.52, MemBWGBs: 1008,
+			SustainedEff: 0.195, LaunchMS: 1.5,
+		}
+	default:
+		panic(fmt.Sprintf("device: unknown id %d", int(id)))
+	}
+}
+
+// PeakGFLOPS returns the theoretical FP32 peak (2 FLOPs per core-cycle).
+func (d Device) PeakGFLOPS() float64 {
+	return float64(d.CUDACores) * d.ClockGHz * 2
+}
+
+// SustainedGFLOPS returns the calibrated sustained throughput for dense
+// convolutional inference.
+func (d Device) SustainedGFLOPS() float64 {
+	return d.PeakGFLOPS() * d.SustainedEff
+}
+
+// IsEdge reports whether the device is a Jetson edge accelerator.
+func (d Device) IsEdge() bool { return d.ID != RTX4090 }

@@ -1,0 +1,167 @@
+package device
+
+import (
+	"fmt"
+	"sort"
+
+	"ocularone/internal/models"
+	"ocularone/internal/rng"
+)
+
+// Job is one inference request in the discrete-event simulation.
+type Job struct {
+	Model     models.ID
+	ArrivalMS float64
+}
+
+// Completion describes a finished job.
+type Completion struct {
+	Job       Job
+	StartMS   float64
+	FinishMS  float64
+	ServiceMS float64
+}
+
+// QueueDelayMS returns the time the job waited before service.
+func (c Completion) QueueDelayMS() float64 { return c.StartMS - c.Job.ArrivalMS }
+
+// LatencyMS returns arrival-to-finish latency.
+func (c Completion) LatencyMS() float64 { return c.FinishMS - c.Job.ArrivalMS }
+
+// Executor simulates one device serving inference jobs FIFO on a single
+// GPU stream — the deployment mode of the paper's benchmarks. Service
+// times come from the calibrated latency model with per-frame jitter,
+// plus a thermal-throttling model: passively cooled Jetsons shed clock
+// speed under sustained load (the 15 W Xavier NX and Orin Nano budgets
+// of Table 3), inflating service times by up to ThrottleMax once the
+// recent duty cycle saturates.
+type Executor struct {
+	Device ID
+	rng    *rng.RNG
+	busyMS float64
+	done   []Completion
+
+	// Thermal state: exponential moving average of the duty cycle.
+	duty       float64
+	lastArrive float64
+}
+
+// throttle constants: edge devices lose up to this fraction of speed at
+// 100% duty; the actively cooled workstation does not throttle.
+const (
+	throttleMaxEdge = 0.18
+	dutyTau         = 2000.0 // ms; thermal time constant of the EMA
+)
+
+// NewExecutor creates a simulator for the device with a deterministic
+// jitter stream.
+func NewExecutor(dev ID, seed uint64) *Executor {
+	return &Executor{Device: dev, rng: rng.New(seed)}
+}
+
+// throttleFactor returns the service-time inflation for the current
+// thermal state.
+func (e *Executor) throttleFactor() float64 {
+	if !Registry(e.Device).IsEdge() {
+		return 1
+	}
+	return 1 + throttleMaxEdge*e.duty
+}
+
+// updateDuty folds one service interval into the duty-cycle EMA.
+func (e *Executor) updateDuty(idleMS, busyMS float64) {
+	span := idleMS + busyMS
+	if span <= 0 {
+		return
+	}
+	inst := busyMS / span
+	alpha := span / (span + dutyTau)
+	e.duty += alpha * (inst - e.duty)
+	if e.duty < 0 {
+		e.duty = 0
+	} else if e.duty > 1 {
+		e.duty = 1
+	}
+}
+
+// Duty reports the executor's thermal duty-cycle estimate in [0,1].
+func (e *Executor) Duty() float64 { return e.duty }
+
+// serviceMS draws one jittered, thermally adjusted service time.
+func (e *Executor) serviceMS(m models.ID) float64 {
+	base := PredictMS(m, e.Device) * e.throttleFactor()
+	v := base * expApprox(e.rng.NormRange(0, 0.06))
+	if e.rng.Bool(0.03) {
+		v *= e.rng.Range(1.3, 1.9)
+	}
+	return v
+}
+
+// expApprox is exp(x) for the small |x| the jitter draws produce.
+func expApprox(x float64) float64 {
+	// 4-term Taylor is accurate to ~1e-6 for |x| < 0.3.
+	return 1 + x + x*x/2 + x*x*x/6
+}
+
+// BusyUntilMS reports when the executor's stream frees up given the work
+// accepted so far — the back-pressure signal schedulers use to skip
+// stale work.
+func (e *Executor) BusyUntilMS() float64 { return e.busyMS }
+
+// Run processes jobs (sorted by arrival) and returns their completions.
+func (e *Executor) Run(jobs []Job) []Completion {
+	sorted := append([]Job(nil), jobs...)
+	sort.SliceStable(sorted, func(a, b int) bool { return sorted[a].ArrivalMS < sorted[b].ArrivalMS })
+	out := make([]Completion, 0, len(sorted))
+	for _, j := range sorted {
+		start := j.ArrivalMS
+		if e.busyMS > start {
+			start = e.busyMS
+		}
+		idle := start - e.busyMS
+		if e.busyMS == 0 {
+			idle = 0 // no history before the first job
+		}
+		svc := e.serviceMS(j.Model)
+		c := Completion{Job: j, StartMS: start, ServiceMS: svc, FinishMS: start + svc}
+		e.updateDuty(idle, svc)
+		e.busyMS = c.FinishMS
+		out = append(out, c)
+	}
+	e.done = append(e.done, out...)
+	return out
+}
+
+// PeriodicJobs builds a constant-rate arrival stream: n frames of model m
+// arriving every periodMS (e.g. 100 ms for a 10 FPS drone feed).
+func PeriodicJobs(m models.ID, n int, periodMS float64) []Job {
+	jobs := make([]Job, n)
+	for i := range jobs {
+		jobs[i] = Job{Model: m, ArrivalMS: float64(i) * periodMS}
+	}
+	return jobs
+}
+
+// Utilization returns the fraction of the simulated horizon the device
+// spent busy, given the completions of one Run.
+func Utilization(cs []Completion) float64 {
+	if len(cs) == 0 {
+		return 0
+	}
+	var busy float64
+	for _, c := range cs {
+		busy += c.ServiceMS
+	}
+	horizon := cs[len(cs)-1].FinishMS - cs[0].Job.ArrivalMS
+	if horizon <= 0 {
+		return 1
+	}
+	u := busy / horizon
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// String identifies the executor.
+func (e *Executor) String() string { return fmt.Sprintf("executor(%s)", e.Device) }

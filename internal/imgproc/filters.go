@@ -1,0 +1,324 @@
+package imgproc
+
+import (
+	"math"
+
+	"ocularone/internal/parallel"
+	"ocularone/internal/rng"
+)
+
+// Resize scales src to w×h with bilinear interpolation.
+func Resize(src *Image, w, h int) *Image {
+	dst := NewImage(w, h)
+	xr := float64(src.W) / float64(w)
+	yr := float64(src.H) / float64(h)
+	parallel.For(h, func(y int) {
+		sy := (float64(y)+0.5)*yr - 0.5
+		y0 := int(math.Floor(sy))
+		fy := sy - float64(y0)
+		for x := 0; x < w; x++ {
+			sx := (float64(x)+0.5)*xr - 0.5
+			x0 := int(math.Floor(sx))
+			fx := sx - float64(x0)
+			r00, g00, b00 := src.At(x0, y0)
+			r10, g10, b10 := src.At(x0+1, y0)
+			r01, g01, b01 := src.At(x0, y0+1)
+			r11, g11, b11 := src.At(x0+1, y0+1)
+			lerp2 := func(a, b, c, d uint8) uint8 {
+				top := float64(a)*(1-fx) + float64(b)*fx
+				bot := float64(c)*(1-fx) + float64(d)*fx
+				return clampU8(top*(1-fy) + bot*fy)
+			}
+			o := (y*w + x) * 3
+			dst.Pix[o] = lerp2(r00, r10, r01, r11)
+			dst.Pix[o+1] = lerp2(g00, g10, g01, g11)
+			dst.Pix[o+2] = lerp2(b00, b10, b01, b11)
+		}
+	})
+	return dst
+}
+
+func clampU8(v float64) uint8 {
+	if v <= 0 {
+		return 0
+	}
+	if v >= 255 {
+		return 255
+	}
+	return uint8(v + 0.5)
+}
+
+// gaussKernel builds a normalised 1-D Gaussian kernel for the given sigma.
+func gaussKernel(sigma float64) []float64 {
+	if sigma <= 0 {
+		return []float64{1}
+	}
+	radius := int(math.Ceil(3 * sigma))
+	k := make([]float64, 2*radius+1)
+	var sum float64
+	for i := range k {
+		d := float64(i - radius)
+		k[i] = math.Exp(-d * d / (2 * sigma * sigma))
+		sum += k[i]
+	}
+	for i := range k {
+		k[i] /= sum
+	}
+	return k
+}
+
+// GaussianBlur returns src convolved with a separable Gaussian of the
+// given sigma. sigma <= 0 returns a plain copy.
+func GaussianBlur(src *Image, sigma float64) *Image {
+	if sigma <= 0 {
+		return src.Clone()
+	}
+	k := gaussKernel(sigma)
+	radius := len(k) / 2
+	tmp := NewImage(src.W, src.H)
+	// Horizontal pass.
+	parallel.For(src.H, func(y int) {
+		for x := 0; x < src.W; x++ {
+			var r, g, b float64
+			for i, kv := range k {
+				cr, cg, cb := src.At(x+i-radius, y)
+				r += kv * float64(cr)
+				g += kv * float64(cg)
+				b += kv * float64(cb)
+			}
+			o := (y*src.W + x) * 3
+			tmp.Pix[o], tmp.Pix[o+1], tmp.Pix[o+2] = clampU8(r), clampU8(g), clampU8(b)
+		}
+	})
+	dst := NewImage(src.W, src.H)
+	// Vertical pass.
+	parallel.For(src.H, func(y int) {
+		for x := 0; x < src.W; x++ {
+			var r, g, b float64
+			for i, kv := range k {
+				cr, cg, cb := tmp.At(x, y+i-radius)
+				r += kv * float64(cr)
+				g += kv * float64(cg)
+				b += kv * float64(cb)
+			}
+			o := (y*src.W + x) * 3
+			dst.Pix[o], dst.Pix[o+1], dst.Pix[o+2] = clampU8(r), clampU8(g), clampU8(b)
+		}
+	})
+	return dst
+}
+
+// AdjustBrightness scales all channels by factor (e.g. 0.3 simulates the
+// paper's low-light adversarial condition).
+func AdjustBrightness(src *Image, factor float64) *Image {
+	dst := NewImage(src.W, src.H)
+	parallel.ForRange(len(src.Pix), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst.Pix[i] = clampU8(float64(src.Pix[i]) * factor)
+		}
+	})
+	return dst
+}
+
+// AddGaussianNoise adds zero-mean Gaussian noise with the given stddev
+// (in 0-255 units) using per-row deterministic streams.
+func AddGaussianNoise(src *Image, stddev float64, r *rng.RNG) *Image {
+	dst := NewImage(src.W, src.H)
+	seed := r.Uint64()
+	parallel.For(src.H, func(y int) {
+		rr := rng.New(seed + uint64(y)*0x9e37)
+		row := src.Pix[y*src.W*3 : (y+1)*src.W*3]
+		drow := dst.Pix[y*src.W*3 : (y+1)*src.W*3]
+		for i, v := range row {
+			drow[i] = clampU8(float64(v) + rr.NormRange(0, stddev))
+		}
+	})
+	return dst
+}
+
+// Rotate returns src rotated by angle radians about its centre, sampling
+// with bilinear interpolation; exposed pixels are black. Used for the
+// tilted-orientation adversarial category.
+func Rotate(src *Image, angle float64) *Image {
+	dst := NewImage(src.W, src.H)
+	sin, cos := math.Sin(-angle), math.Cos(-angle)
+	cx, cy := float64(src.W)/2, float64(src.H)/2
+	parallel.For(src.H, func(y int) {
+		dy := float64(y) + 0.5 - cy
+		for x := 0; x < src.W; x++ {
+			dx := float64(x) + 0.5 - cx
+			sx := cx + dx*cos - dy*sin - 0.5
+			sy := cy + dx*sin + dy*cos - 0.5
+			x0, y0 := int(math.Floor(sx)), int(math.Floor(sy))
+			if x0 < -1 || x0 > src.W || y0 < -1 || y0 > src.H {
+				continue
+			}
+			fx, fy := sx-float64(x0), sy-float64(y0)
+			r00, g00, b00 := src.At(x0, y0)
+			r10, g10, b10 := src.At(x0+1, y0)
+			r01, g01, b01 := src.At(x0, y0+1)
+			r11, g11, b11 := src.At(x0+1, y0+1)
+			lerp2 := func(a, b, c, d uint8) uint8 {
+				top := float64(a)*(1-fx) + float64(b)*fx
+				bot := float64(c)*(1-fx) + float64(d)*fx
+				return clampU8(top*(1-fy) + bot*fy)
+			}
+			o := (y*src.W + x) * 3
+			dst.Pix[o] = lerp2(r00, r10, r01, r11)
+			dst.Pix[o+1] = lerp2(g00, g10, g01, g11)
+			dst.Pix[o+2] = lerp2(b00, b10, b01, b11)
+		}
+	})
+	return dst
+}
+
+// RotateRect maps a rectangle through the same rotation Rotate applies and
+// returns the axis-aligned bounding box of the rotated corners.
+func RotateRect(r Rect, w, h int, angle float64) Rect {
+	sin, cos := math.Sin(angle), math.Cos(angle)
+	cx, cy := float64(w)/2, float64(h)/2
+	minX, minY := math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	for _, p := range [][2]float64{
+		{float64(r.X0), float64(r.Y0)},
+		{float64(r.X1), float64(r.Y0)},
+		{float64(r.X0), float64(r.Y1)},
+		{float64(r.X1), float64(r.Y1)},
+	} {
+		dx, dy := p[0]-cx, p[1]-cy
+		nx := cx + dx*cos - dy*sin
+		ny := cy + dx*sin + dy*cos
+		minX, maxX = math.Min(minX, nx), math.Max(maxX, nx)
+		minY, maxY = math.Min(minY, ny), math.Max(maxY, ny)
+	}
+	return Rect{int(minX), int(minY), int(math.Ceil(maxX)), int(math.Ceil(maxY))}
+}
+
+// RGBToHSV converts one 8-bit RGB triple to HSV with h in [0,360),
+// s and v in [0,1].
+func RGBToHSV(r, g, b uint8) (h, s, v float64) {
+	rf, gf, bf := float64(r)/255, float64(g)/255, float64(b)/255
+	maxc := math.Max(rf, math.Max(gf, bf))
+	minc := math.Min(rf, math.Min(gf, bf))
+	v = maxc
+	d := maxc - minc
+	if maxc > 0 {
+		s = d / maxc
+	}
+	if d == 0 {
+		return 0, s, v
+	}
+	switch maxc {
+	case rf:
+		h = math.Mod((gf-bf)/d, 6)
+	case gf:
+		h = (bf-rf)/d + 2
+	default:
+		h = (rf-gf)/d + 4
+	}
+	h *= 60
+	if h < 0 {
+		h += 360
+	}
+	return h, s, v
+}
+
+// HSVToRGB converts HSV (h in [0,360), s,v in [0,1]) to 8-bit RGB.
+func HSVToRGB(h, s, v float64) (uint8, uint8, uint8) {
+	c := v * s
+	hp := math.Mod(h, 360) / 60
+	x := c * (1 - math.Abs(math.Mod(hp, 2)-1))
+	var rf, gf, bf float64
+	switch {
+	case hp < 1:
+		rf, gf, bf = c, x, 0
+	case hp < 2:
+		rf, gf, bf = x, c, 0
+	case hp < 3:
+		rf, gf, bf = 0, c, x
+	case hp < 4:
+		rf, gf, bf = 0, x, c
+	case hp < 5:
+		rf, gf, bf = x, 0, c
+	default:
+		rf, gf, bf = c, 0, x
+	}
+	m := v - c
+	return clampU8((rf + m) * 255), clampU8((gf + m) * 255), clampU8((bf + m) * 255)
+}
+
+// LocalContrastNormalize rescales each tile of the image so its intensity
+// range spans [0,255]. This is the robustness stage the x-large detector
+// tier enables to survive low-light adversarial inputs.
+func LocalContrastNormalize(src *Image, tile int) *Image {
+	if tile <= 0 {
+		tile = 64
+	}
+	dst := src.Clone()
+	tilesX := (src.W + tile - 1) / tile
+	tilesY := (src.H + tile - 1) / tile
+	parallel.For(tilesX*tilesY, func(t int) {
+		tx, ty := t%tilesX, t/tilesX
+		x0, y0 := tx*tile, ty*tile
+		x1, y1 := min(x0+tile, src.W), min(y0+tile, src.H)
+		lo, hi := 255, 0
+		for y := y0; y < y1; y++ {
+			for x := x0; x < x1; x++ {
+				o := (y*src.W + x) * 3
+				lum := (int(src.Pix[o])*299 + int(src.Pix[o+1])*587 + int(src.Pix[o+2])*114) / 1000
+				if lum < lo {
+					lo = lum
+				}
+				if lum > hi {
+					hi = lum
+				}
+			}
+		}
+		span := hi - lo
+		if span < 8 {
+			return // flat tile; rescaling would only amplify noise
+		}
+		scale := 255.0 / float64(span)
+		for y := y0; y < y1; y++ {
+			for x := x0; x < x1; x++ {
+				o := (y*src.W + x) * 3
+				for c := 0; c < 3; c++ {
+					dst.Pix[o+c] = clampU8((float64(src.Pix[o+c]) - float64(lo)) * scale)
+				}
+			}
+		}
+	})
+	return dst
+}
+
+// GradientMagnitude returns a per-pixel Sobel gradient magnitude map
+// (luminance-based, 0-255 clamped). The detector's stripe-verification
+// stage consumes this.
+func GradientMagnitude(src *Image) []float32 {
+	w, h := src.W, src.H
+	lum := make([]float32, w*h)
+	parallel.For(h, func(y int) {
+		for x := 0; x < w; x++ {
+			o := (y*w + x) * 3
+			lum[y*w+x] = 0.299*float32(src.Pix[o]) + 0.587*float32(src.Pix[o+1]) + 0.114*float32(src.Pix[o+2])
+		}
+	})
+	out := make([]float32, w*h)
+	parallel.For(h, func(y int) {
+		if y == 0 || y == h-1 {
+			return
+		}
+		for x := 1; x < w-1; x++ {
+			gx := lum[(y-1)*w+x+1] + 2*lum[y*w+x+1] + lum[(y+1)*w+x+1] -
+				lum[(y-1)*w+x-1] - 2*lum[y*w+x-1] - lum[(y+1)*w+x-1]
+			gy := lum[(y+1)*w+x-1] + 2*lum[(y+1)*w+x] + lum[(y+1)*w+x+1] -
+				lum[(y-1)*w+x-1] - 2*lum[(y-1)*w+x] - lum[(y-1)*w+x+1]
+			m := float32(math.Sqrt(float64(gx*gx + gy*gy)))
+			if m > 255 {
+				m = 255
+			}
+			out[y*w+x] = m
+		}
+	})
+	return out
+}

@@ -1,0 +1,183 @@
+package imgproc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewImageBlack(t *testing.T) {
+	im := NewImage(4, 3)
+	if im.W != 4 || im.H != 3 || len(im.Pix) != 36 {
+		t.Fatalf("bad image: %dx%d pix=%d", im.W, im.H, len(im.Pix))
+	}
+	for _, v := range im.Pix {
+		if v != 0 {
+			t.Fatal("new image not black")
+		}
+	}
+}
+
+func TestNewImagePanicsOnBadDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for 0x0 image")
+		}
+	}()
+	NewImage(0, 0)
+}
+
+func TestSetAtRoundTrip(t *testing.T) {
+	im := NewImage(5, 5)
+	im.Set(2, 3, 10, 20, 30)
+	r, g, b := im.At(2, 3)
+	if r != 10 || g != 20 || b != 30 {
+		t.Fatalf("At = %d,%d,%d", r, g, b)
+	}
+}
+
+func TestAtClampsBorders(t *testing.T) {
+	im := NewImage(2, 2)
+	im.Set(0, 0, 1, 2, 3)
+	im.Set(1, 1, 7, 8, 9)
+	if r, _, _ := im.At(-5, -5); r != 1 {
+		t.Fatal("negative coords not clamped to (0,0)")
+	}
+	if r, _, _ := im.At(10, 10); r != 7 {
+		t.Fatal("overflow coords not clamped to (W-1,H-1)")
+	}
+}
+
+func TestSetIgnoresOutOfBounds(t *testing.T) {
+	im := NewImage(2, 2)
+	im.Set(-1, 0, 255, 255, 255) // must not panic or write
+	im.Set(2, 0, 255, 255, 255)
+	for _, v := range im.Pix {
+		if v != 0 {
+			t.Fatal("out-of-bounds Set wrote data")
+		}
+	}
+}
+
+func TestRectBasics(t *testing.T) {
+	r := Rect{10, 20, 30, 50}
+	if r.W() != 20 || r.H() != 30 || r.Area() != 600 || r.Empty() {
+		t.Fatalf("rect basics wrong: %+v", r)
+	}
+	if (Rect{5, 5, 5, 9}).Area() != 0 {
+		t.Fatal("degenerate rect area != 0")
+	}
+	cx, cy := r.Center()
+	if cx != 20 || cy != 35 {
+		t.Fatalf("center = %v,%v", cx, cy)
+	}
+}
+
+func TestRectIntersectUnion(t *testing.T) {
+	a := Rect{0, 0, 10, 10}
+	b := Rect{5, 5, 15, 15}
+	i := a.Intersect(b)
+	if i != (Rect{5, 5, 10, 10}) {
+		t.Fatalf("intersect = %+v", i)
+	}
+	u := a.Union(b)
+	if u != (Rect{0, 0, 15, 15}) {
+		t.Fatalf("union = %+v", u)
+	}
+	if !a.Intersect(Rect{20, 20, 30, 30}).Empty() {
+		t.Fatal("disjoint intersect not empty")
+	}
+}
+
+func TestRectIoU(t *testing.T) {
+	a := Rect{0, 0, 10, 10}
+	if iou := a.IoU(a); iou != 1 {
+		t.Fatalf("self IoU = %v", iou)
+	}
+	b := Rect{0, 0, 10, 5}
+	if iou := a.IoU(b); math.Abs(iou-0.5) > 1e-9 {
+		t.Fatalf("half IoU = %v", iou)
+	}
+	if a.IoU(Rect{100, 100, 110, 110}) != 0 {
+		t.Fatal("disjoint IoU != 0")
+	}
+}
+
+// Property: IoU is symmetric and in [0, 1].
+func TestQuickIoUProperties(t *testing.T) {
+	f := func(ax, ay, aw, ah, bx, by, bw, bh uint8) bool {
+		a := Rect{int(ax), int(ay), int(ax) + int(aw%64) + 1, int(ay) + int(ah%64) + 1}
+		b := Rect{int(bx), int(by), int(bx) + int(bw%64) + 1, int(by) + int(bh%64) + 1}
+		ab, ba := a.IoU(b), b.IoU(a)
+		return ab == ba && ab >= 0 && ab <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFillRectClipped(t *testing.T) {
+	im := NewImage(4, 4)
+	im.FillRect(Rect{2, 2, 100, 100}, 9, 9, 9)
+	if r, _, _ := im.At(3, 3); r != 9 {
+		t.Fatal("fill missed interior")
+	}
+	if r, _, _ := im.At(1, 1); r != 0 {
+		t.Fatal("fill leaked outside rect")
+	}
+}
+
+func TestFillEllipseInscribed(t *testing.T) {
+	im := NewImage(21, 21)
+	im.FillEllipse(Rect{0, 0, 21, 21}, 200, 0, 0)
+	if r, _, _ := im.At(10, 10); r != 200 {
+		t.Fatal("ellipse centre unfilled")
+	}
+	if r, _, _ := im.At(0, 0); r != 0 {
+		t.Fatal("ellipse filled its bounding-box corner")
+	}
+}
+
+func TestDrawLine(t *testing.T) {
+	im := NewImage(10, 10)
+	im.DrawLine(0, 0, 9, 9, 255, 0, 0)
+	for i := 0; i < 10; i++ {
+		if r, _, _ := im.At(i, i); r != 255 {
+			t.Fatalf("diagonal missing at %d", i)
+		}
+	}
+}
+
+func TestMeanAndLuma(t *testing.T) {
+	im := NewImage(2, 2)
+	im.Fill(100, 50, 200)
+	r, g, b := im.Mean()
+	if r != 100 || g != 50 || b != 200 {
+		t.Fatalf("mean = %v,%v,%v", r, g, b)
+	}
+	want := 0.299*100 + 0.587*50 + 0.114*200
+	if math.Abs(im.Luma()-want) > 1e-9 {
+		t.Fatalf("luma = %v, want %v", im.Luma(), want)
+	}
+}
+
+func TestCrop(t *testing.T) {
+	im := NewImage(10, 10)
+	im.Set(5, 5, 42, 0, 0)
+	c := Crop(im, Rect{4, 4, 8, 8})
+	if c.W != 4 || c.H != 4 {
+		t.Fatalf("crop dims %dx%d", c.W, c.H)
+	}
+	if r, _, _ := c.At(1, 1); r != 42 {
+		t.Fatal("crop did not preserve pixel")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	im := NewImage(3, 3)
+	c := im.Clone()
+	c.Set(0, 0, 1, 1, 1)
+	if r, _, _ := im.At(0, 0); r != 0 {
+		t.Fatal("clone shares storage")
+	}
+}

@@ -1,0 +1,143 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"ocularone/internal/rng"
+	"ocularone/internal/tensor"
+)
+
+// Act selects the activation fused after a convolution.
+type Act int
+
+// Activation kinds.
+const (
+	ActNone Act = iota
+	ActSiLU
+	ActReLU
+	ActSigmoid
+)
+
+// Conv is the Ultralytics "Conv" block: Conv2d (no bias) + BatchNorm +
+// activation, with weights folded for inference.
+type Conv struct {
+	label   string
+	spec    tensor.ConvSpec
+	weight  *tensor.Tensor
+	gamma   []float32
+	beta    []float32
+	mean    []float32
+	varnc   []float32
+	act     Act
+	useBias bool
+	bias    *tensor.Tensor
+}
+
+// NewConv builds a Conv-BN-activation block with He-initialised weights
+// drawn from r (deterministic per seed).
+func NewConv(r *rng.RNG, inC, outC, k, stride int, act Act) *Conv {
+	return newConvFull(r, inC, outC, k, stride, k/2, 1, act, false)
+}
+
+// NewConvDW builds a depthwise Conv block (groups = channels).
+func NewConvDW(r *rng.RNG, c, k, stride int, act Act) *Conv {
+	return newConvFull(r, c, c, k, stride, k/2, c, act, false)
+}
+
+// NewConv2d builds a raw Conv2d with bias and no BN/activation — the
+// final prediction layers of detect heads.
+func NewConv2d(r *rng.RNG, inC, outC, k int) *Conv {
+	return newConvFull(r, inC, outC, k, 1, k/2, 1, ActNone, true)
+}
+
+func newConvFull(r *rng.RNG, inC, outC, k, stride, pad, groups int, act Act, bias bool) *Conv {
+	if inC <= 0 || outC <= 0 {
+		panic(fmt.Sprintf("nn: conv with channels %d→%d", inC, outC))
+	}
+	spec := tensor.ConvSpec{
+		InC: inC, OutC: outC, KH: k, KW: k,
+		StrideH: stride, StrideW: stride,
+		PadH: pad, PadW: pad, Groups: groups,
+	}
+	w := tensor.New(outC, inC/groups, k, k)
+	fanIn := float64(inC / groups * k * k)
+	std := math.Sqrt(2 / fanIn)
+	for i := range w.Data {
+		w.Data[i] = float32(r.NormRange(0, std))
+	}
+	c := &Conv{
+		label:  fmt.Sprintf("conv%dx%d_%d_%d", k, k, inC, outC),
+		spec:   spec,
+		weight: w,
+		act:    act,
+	}
+	if bias {
+		c.useBias = true
+		c.bias = tensor.New(outC)
+	} else {
+		c.gamma = make([]float32, outC)
+		c.beta = make([]float32, outC)
+		c.mean = make([]float32, outC)
+		c.varnc = make([]float32, outC)
+		for i := 0; i < outC; i++ {
+			c.gamma[i] = 1
+			c.varnc[i] = 1
+			// Small random shift keeps activations non-degenerate.
+			c.beta[i] = float32(r.NormRange(0, 0.02))
+		}
+	}
+	return c
+}
+
+// Name implements Module.
+func (c *Conv) Name() string { return c.label }
+
+// Forward implements Module.
+func (c *Conv) Forward(xs []*tensor.Tensor) *tensor.Tensor {
+	x := xs[0]
+	var out *tensor.Tensor
+	if c.useBias {
+		out = tensor.Conv2D(x, c.weight, c.bias, c.spec)
+	} else {
+		out = tensor.Conv2D(x, c.weight, nil, c.spec)
+		tensor.BatchNormInference(out, c.gamma, c.beta, c.mean, c.varnc, 1e-3)
+	}
+	switch c.act {
+	case ActSiLU:
+		out.SiLU()
+	case ActReLU:
+		out.ReLU()
+	case ActSigmoid:
+		out.Sigmoid()
+	}
+	return out
+}
+
+// Params implements Module: conv weights plus either bias or the BN
+// affine pair, matching Ultralytics' trainable-parameter accounting.
+func (c *Conv) Params() int64 {
+	n := int64(len(c.weight.Data))
+	if c.useBias {
+		n += int64(c.spec.OutC)
+	} else {
+		n += 2 * int64(c.spec.OutC) // BN gamma + beta
+	}
+	return n
+}
+
+// Cost implements Module.
+func (c *Conv) Cost(in []Shape) (int64, Shape) {
+	s := in[0]
+	oh, ow := c.spec.OutSize(s.H, s.W)
+	groups := c.spec.Groups
+	if groups <= 0 {
+		groups = 1
+	}
+	macs := int64(oh) * int64(ow) * int64(c.spec.OutC) *
+		int64(c.spec.InC/groups) * int64(c.spec.KH) * int64(c.spec.KW)
+	return 2 * macs, Shape{C: c.spec.OutC, H: oh, W: ow}
+}
+
+// OutC reports the block's output channel count.
+func (c *Conv) OutC() int { return c.spec.OutC }

@@ -1,0 +1,140 @@
+// Package nn is a pure-Go neural-network inference engine: the layers and
+// composite blocks of the YOLOv8/YOLOv11 families (Conv-BN-SiLU, C2f,
+// C3k2, SPPF, C2PSA, detect head with DFL), plus ResNet-18 blocks for the
+// trt_pose and Monodepth2 substrates.
+//
+// The engine serves three roles in the reproduction:
+//   - Parameter and model-size accounting for Table 2 of the paper.
+//   - FLOP accounting that feeds the device latency model (Figs. 5-6).
+//   - Real forward passes, used by the repository's testing.B benchmarks
+//     to measure genuine CPU inference cost.
+//
+// Weights are deterministically initialised (He-style) from a seed; no
+// training happens in this package.
+package nn
+
+import (
+	"fmt"
+
+	"ocularone/internal/tensor"
+)
+
+// Shape is a CHW activation shape flowing through the graph.
+type Shape struct {
+	C, H, W int
+}
+
+// Volume returns C*H*W.
+func (s Shape) Volume() int { return s.C * s.H * s.W }
+
+func (s Shape) String() string { return fmt.Sprintf("[%d,%d,%d]", s.C, s.H, s.W) }
+
+// Module is a forward-only network component.
+type Module interface {
+	// Name returns a short human-readable identifier.
+	Name() string
+	// Forward runs the module on its inputs (most modules take one).
+	Forward(xs []*tensor.Tensor) *tensor.Tensor
+	// Params returns the trainable parameter count (conv weights, biases,
+	// BN affine terms), matching the convention Ultralytics reports.
+	Params() int64
+	// Cost returns multiply-accumulate FLOPs (2 ops per MAC) and the
+	// output shape for the given input shapes.
+	Cost(in []Shape) (flops int64, out Shape)
+}
+
+// Node wires a module into a Network graph. From lists the indices of the
+// producer nodes (negative values index backwards: -1 is the previous
+// node), mirroring the Ultralytics YAML convention.
+type Node struct {
+	From   []int
+	Module Module
+}
+
+// Network is a static DAG of modules evaluated in topological (list)
+// order. Outputs lists the node indices whose activations the network
+// returns (e.g. the three detect-head inputs).
+type Network struct {
+	Name    string
+	Nodes   []Node
+	Outputs []int
+}
+
+// resolve maps a possibly negative `from` reference at node i to an
+// absolute node index.
+func (n *Network) resolve(i, from int) int {
+	if from < 0 {
+		return i + from
+	}
+	return from
+}
+
+// Forward evaluates the graph on input x and returns the activations of
+// the Outputs nodes (or the last node if Outputs is empty).
+func (n *Network) Forward(x *tensor.Tensor) []*tensor.Tensor {
+	acts := make([]*tensor.Tensor, len(n.Nodes))
+	for i, node := range n.Nodes {
+		ins := make([]*tensor.Tensor, len(node.From))
+		for j, f := range node.From {
+			fi := n.resolve(i, f)
+			if fi == -1 {
+				ins[j] = x
+			} else if fi < -1 || fi >= i {
+				panic(fmt.Sprintf("nn: node %d references invalid node %d", i, fi))
+			} else {
+				ins[j] = acts[fi]
+			}
+		}
+		acts[i] = node.Module.Forward(ins)
+	}
+	if len(n.Outputs) == 0 {
+		return []*tensor.Tensor{acts[len(acts)-1]}
+	}
+	outs := make([]*tensor.Tensor, len(n.Outputs))
+	for i, oi := range n.Outputs {
+		outs[i] = acts[oi]
+	}
+	return outs
+}
+
+// Params sums the parameter counts of all nodes.
+func (n *Network) Params() int64 {
+	var total int64
+	for _, node := range n.Nodes {
+		total += node.Module.Params()
+	}
+	return total
+}
+
+// Cost propagates shapes through the graph from the given input shape and
+// returns total FLOPs plus the output shapes.
+func (n *Network) Cost(in Shape) (int64, []Shape) {
+	shapes := make([]Shape, len(n.Nodes))
+	var total int64
+	for i, node := range n.Nodes {
+		ins := make([]Shape, len(node.From))
+		for j, f := range node.From {
+			fi := n.resolve(i, f)
+			if fi == -1 {
+				ins[j] = in
+			} else {
+				ins[j] = shapes[fi]
+			}
+		}
+		fl, out := node.Module.Cost(ins)
+		total += fl
+		shapes[i] = out
+	}
+	if len(n.Outputs) == 0 {
+		return total, []Shape{shapes[len(shapes)-1]}
+	}
+	outs := make([]Shape, len(n.Outputs))
+	for i, oi := range n.Outputs {
+		outs[i] = shapes[oi]
+	}
+	return total, outs
+}
+
+// SizeBytesFP16 returns the serialized model size assuming 16-bit
+// weights, the deployment format behind Table 2's "Model Size (MB)".
+func (n *Network) SizeBytesFP16() int64 { return n.Params() * 2 }

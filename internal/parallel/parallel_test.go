@@ -1,0 +1,145 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversAllIndices(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 63, 64, 65, 1000, 4096} {
+		var seen = make([]int32, n)
+		For(n, func(i int) { atomic.AddInt32(&seen[i], 1) })
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("n=%d: index %d visited %d times", n, i, c)
+			}
+		}
+	}
+}
+
+func TestForWithSingleWorkerIsSequential(t *testing.T) {
+	order := make([]int, 0, 100)
+	ForWith(1, 100, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("sequential order broken at %d: got %d", i, v)
+		}
+	}
+}
+
+func TestForWithMoreWorkersThanItems(t *testing.T) {
+	var count int64
+	ForWith(64, 100, func(i int) { atomic.AddInt64(&count, 1) })
+	if count != 100 {
+		t.Fatalf("count = %d, want 100", count)
+	}
+}
+
+func TestForZeroAndNegative(t *testing.T) {
+	called := false
+	For(0, func(i int) { called = true })
+	For(-5, func(i int) { called = true })
+	if called {
+		t.Fatal("fn called for non-positive n")
+	}
+}
+
+func TestForRangeCoversDisjointly(t *testing.T) {
+	for _, n := range []int{1, 64, 100, 1023} {
+		var seen = make([]int32, n)
+		ForRange(n, func(lo, hi int) {
+			if lo < 0 || hi > n || lo >= hi {
+				t.Errorf("bad range [%d,%d) for n=%d", lo, hi, n)
+			}
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&seen[i], 1)
+			}
+		})
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("n=%d: index %d covered %d times", n, i, c)
+			}
+		}
+	}
+}
+
+func TestSplitRange(t *testing.T) {
+	cases := []struct {
+		n, parts int
+		want     int // number of pieces
+	}{
+		{10, 3, 3},
+		{10, 10, 10},
+		{10, 20, 10},
+		{0, 4, 0},
+		{100, 4, 4},
+		{1, 1, 1},
+	}
+	for _, c := range cases {
+		got := SplitRange(c.n, c.parts)
+		if len(got) != c.want {
+			t.Errorf("SplitRange(%d,%d) pieces = %d, want %d", c.n, c.parts, len(got), c.want)
+		}
+		// Pieces must tile [0, n) exactly.
+		next := 0
+		for _, p := range got {
+			if p[0] != next {
+				t.Errorf("SplitRange(%d,%d): gap before %v", c.n, c.parts, p)
+			}
+			if p[1] <= p[0] {
+				t.Errorf("SplitRange(%d,%d): empty piece %v", c.n, c.parts, p)
+			}
+			next = p[1]
+		}
+		if c.n > 0 && next != c.n {
+			t.Errorf("SplitRange(%d,%d): covers up to %d", c.n, c.parts, next)
+		}
+	}
+}
+
+func TestPoolRunsAllTasks(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	var count int64
+	for i := 0; i < 1000; i++ {
+		p.Submit(func() { atomic.AddInt64(&count, 1) })
+	}
+	p.Wait()
+	if count != 1000 {
+		t.Fatalf("count = %d, want 1000", count)
+	}
+}
+
+func TestPoolReuseAcrossBatches(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	var count int64
+	for batch := 0; batch < 10; batch++ {
+		for i := 0; i < 50; i++ {
+			p.Submit(func() { atomic.AddInt64(&count, 1) })
+		}
+		p.Wait()
+	}
+	if count != 500 {
+		t.Fatalf("count = %d, want 500", count)
+	}
+}
+
+func TestPoolWorkers(t *testing.T) {
+	p := NewPool(3)
+	defer p.Close()
+	if p.Workers() != 3 {
+		t.Fatalf("Workers() = %d, want 3", p.Workers())
+	}
+	q := NewPool(0)
+	defer q.Close()
+	if q.Workers() != DefaultWorkers() {
+		t.Fatalf("Workers() = %d, want %d", q.Workers(), DefaultWorkers())
+	}
+}
+
+func TestDefaultWorkersPositive(t *testing.T) {
+	if DefaultWorkers() < 1 {
+		t.Fatalf("DefaultWorkers() = %d", DefaultWorkers())
+	}
+}

@@ -1,0 +1,123 @@
+// Package svm implements a linear support-vector machine trained with
+// the Pegasos stochastic sub-gradient algorithm. The Ocularone
+// application (§3 of the paper) feeds body-pose features into an SVM to
+// detect fall scenarios; this package is that classifier.
+package svm
+
+import (
+	"fmt"
+	"math"
+
+	"ocularone/internal/rng"
+)
+
+// Model is a trained linear SVM: Predict returns sign(w·x + b).
+type Model struct {
+	W []float64
+	B float64
+}
+
+// Config controls Pegasos training.
+type Config struct {
+	Epochs int     // passes over the data (default 50)
+	Lambda float64 // regularisation strength (default 1e-3)
+	Seed   uint64
+}
+
+func (c *Config) defaults() {
+	if c.Epochs <= 0 {
+		c.Epochs = 50
+	}
+	if c.Lambda <= 0 {
+		c.Lambda = 1e-3
+	}
+}
+
+// Train fits a linear SVM on feature vectors xs with labels ys in
+// {-1,+1}. It panics on empty or inconsistent input.
+func Train(xs [][]float64, ys []int, cfg Config) *Model {
+	if len(xs) == 0 || len(xs) != len(ys) {
+		panic(fmt.Sprintf("svm: %d samples, %d labels", len(xs), len(ys)))
+	}
+	dim := len(xs[0])
+	for i, x := range xs {
+		if len(x) != dim {
+			panic(fmt.Sprintf("svm: sample %d has dim %d, want %d", i, len(x), dim))
+		}
+		if ys[i] != 1 && ys[i] != -1 {
+			panic(fmt.Sprintf("svm: label %d is %d, want ±1", i, ys[i]))
+		}
+	}
+	cfg.defaults()
+	r := rng.New(cfg.Seed)
+	w := make([]float64, dim)
+	var b float64
+	t := 1
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		for _, i := range r.Perm(len(xs)) {
+			eta := 1 / (cfg.Lambda * float64(t))
+			t++
+			margin := float64(ys[i]) * (dot(w, xs[i]) + b)
+			// Regularisation shrink.
+			for d := range w {
+				w[d] *= 1 - eta*cfg.Lambda
+			}
+			if margin < 1 {
+				// Sub-gradient step on the hinge loss.
+				for d := range w {
+					w[d] += eta * float64(ys[i]) * xs[i][d]
+				}
+				b += eta * float64(ys[i])
+			}
+			// Optional projection onto the 1/sqrt(lambda) ball keeps the
+			// iterates bounded (Pegasos theorem 1).
+			if n := norm(w); n > 1/math.Sqrt(cfg.Lambda) {
+				scale := 1 / (n * math.Sqrt(cfg.Lambda))
+				for d := range w {
+					w[d] *= scale
+				}
+			}
+		}
+	}
+	return &Model{W: w, B: b}
+}
+
+// Score returns the signed margin w·x + b.
+func (m *Model) Score(x []float64) float64 {
+	return dot(m.W, x) + m.B
+}
+
+// Predict returns +1 or -1.
+func (m *Model) Predict(x []float64) int {
+	if m.Score(x) >= 0 {
+		return 1
+	}
+	return -1
+}
+
+// Accuracy evaluates the model on a labelled set, returning a fraction
+// in [0,1].
+func (m *Model) Accuracy(xs [][]float64, ys []int) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	hit := 0
+	for i, x := range xs {
+		if m.Predict(x) == ys[i] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(xs))
+}
+
+func dot(a, b []float64) float64 {
+	var s float64
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+func norm(a []float64) float64 {
+	return math.Sqrt(dot(a, a))
+}

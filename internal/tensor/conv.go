@@ -1,0 +1,251 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+
+	"ocularone/internal/parallel"
+)
+
+// ConvSpec describes a 2-D convolution. Tensors use CHW layout (channels,
+// height, width); weights use [outC, inC, kH, kW].
+type ConvSpec struct {
+	InC, OutC  int
+	KH, KW     int
+	StrideH    int
+	StrideW    int
+	PadH, PadW int
+	Groups     int // 1 for dense conv; InC for depthwise
+	DilationH  int // 0 treated as 1
+	DilationW  int
+}
+
+func (s ConvSpec) dil() (int, int) {
+	dh, dw := s.DilationH, s.DilationW
+	if dh == 0 {
+		dh = 1
+	}
+	if dw == 0 {
+		dw = 1
+	}
+	return dh, dw
+}
+
+// OutSize returns the output spatial dims for an input of h×w.
+func (s ConvSpec) OutSize(h, w int) (int, int) {
+	dh, dw := s.dil()
+	oh := (h+2*s.PadH-dh*(s.KH-1)-1)/s.StrideH + 1
+	ow := (w+2*s.PadW-dw*(s.KW-1)-1)/s.StrideW + 1
+	return oh, ow
+}
+
+// Conv2D applies the convolution described by spec to input x [inC,H,W]
+// with weights w [outC, inC/groups, kH, kW] and optional bias [outC]
+// (nil for none). The implementation lowers to im2col + matmul per group,
+// the standard approach for CPU inference engines.
+func Conv2D(x, w, bias *Tensor, spec ConvSpec) *Tensor {
+	if x.Rank() != 3 {
+		panic(fmt.Sprintf("tensor: Conv2D input rank %d, want 3 (CHW)", x.Rank()))
+	}
+	if x.Shape[0] != spec.InC {
+		panic(fmt.Sprintf("tensor: Conv2D input channels %d, spec %d", x.Shape[0], spec.InC))
+	}
+	groups := spec.Groups
+	if groups <= 0 {
+		groups = 1
+	}
+	if spec.InC%groups != 0 || spec.OutC%groups != 0 {
+		panic(fmt.Sprintf("tensor: Conv2D groups %d incompatible with channels %d→%d", groups, spec.InC, spec.OutC))
+	}
+	h, wd := x.Shape[1], x.Shape[2]
+	oh, ow := spec.OutSize(h, wd)
+	if oh <= 0 || ow <= 0 {
+		panic(fmt.Sprintf("tensor: Conv2D empty output for input %dx%d spec %+v", h, wd, spec))
+	}
+	out := New(spec.OutC, oh, ow)
+
+	icg := spec.InC / groups  // in channels per group
+	ocg := spec.OutC / groups // out channels per group
+	cols := New(icg*spec.KH*spec.KW, oh*ow)
+	for g := 0; g < groups; g++ {
+		im2col(x, cols, spec, g*icg, icg, oh, ow)
+		// Weight slice for this group: [ocg, icg*KH*KW].
+		wslice := FromSlice(
+			w.Data[g*ocg*icg*spec.KH*spec.KW:(g+1)*ocg*icg*spec.KH*spec.KW],
+			ocg, icg*spec.KH*spec.KW)
+		dst := FromSlice(out.Data[g*ocg*oh*ow:(g+1)*ocg*oh*ow], ocg, oh*ow)
+		MatMulInto(dst, wslice, cols)
+	}
+	if bias != nil {
+		if bias.Len() != spec.OutC {
+			panic(fmt.Sprintf("tensor: Conv2D bias len %d, want %d", bias.Len(), spec.OutC))
+		}
+		plane := oh * ow
+		parallel.For(spec.OutC, func(c int) {
+			b := bias.Data[c]
+			d := out.Data[c*plane : (c+1)*plane]
+			for i := range d {
+				d[i] += b
+			}
+		})
+	}
+	return out
+}
+
+// im2col unrolls receptive fields of channels [c0, c0+nc) into cols, a
+// [nc*KH*KW, oh*ow] matrix. Zero padding is materialised as zeros.
+func im2col(x, cols *Tensor, spec ConvSpec, c0, nc, oh, ow int) {
+	h, w := x.Shape[1], x.Shape[2]
+	dh, dw := spec.dil()
+	rowLen := oh * ow
+	parallel.For(nc*spec.KH*spec.KW, func(r int) {
+		c := r / (spec.KH * spec.KW)
+		rem := r % (spec.KH * spec.KW)
+		ky := rem / spec.KW
+		kx := rem % spec.KW
+		src := x.Data[(c0+c)*h*w : (c0+c+1)*h*w]
+		dst := cols.Data[r*rowLen : (r+1)*rowLen]
+		i := 0
+		for oy := 0; oy < oh; oy++ {
+			iy := oy*spec.StrideH - spec.PadH + ky*dh
+			if iy < 0 || iy >= h {
+				for ox := 0; ox < ow; ox++ {
+					dst[i] = 0
+					i++
+				}
+				continue
+			}
+			srow := src[iy*w : (iy+1)*w]
+			ix := -spec.PadW + kx*dw
+			for ox := 0; ox < ow; ox++ {
+				if ix >= 0 && ix < w {
+					dst[i] = srow[ix]
+				} else {
+					dst[i] = 0
+				}
+				i++
+				ix += spec.StrideW
+			}
+		}
+	})
+}
+
+// MaxPool2D applies kxk max pooling with the given stride to x [C,H,W].
+func MaxPool2D(x *Tensor, k, stride, pad int) *Tensor {
+	c, h, w := x.Shape[0], x.Shape[1], x.Shape[2]
+	oh := (h+2*pad-k)/stride + 1
+	ow := (w+2*pad-k)/stride + 1
+	out := New(c, oh, ow)
+	parallel.For(c, func(ci int) {
+		src := x.Data[ci*h*w : (ci+1)*h*w]
+		dst := out.Data[ci*oh*ow : (ci+1)*oh*ow]
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				best := float32(negInf)
+				for ky := 0; ky < k; ky++ {
+					iy := oy*stride - pad + ky
+					if iy < 0 || iy >= h {
+						continue
+					}
+					for kx := 0; kx < k; kx++ {
+						ix := ox*stride - pad + kx
+						if ix < 0 || ix >= w {
+							continue
+						}
+						if v := src[iy*w+ix]; v > best {
+							best = v
+						}
+					}
+				}
+				dst[oy*ow+ox] = best
+			}
+		}
+	})
+	return out
+}
+
+const negInf = float32(-3.4e38)
+
+// AvgPoolGlobal reduces each channel of x [C,H,W] to its mean, returning
+// a [C] tensor.
+func AvgPoolGlobal(x *Tensor) *Tensor {
+	c, h, w := x.Shape[0], x.Shape[1], x.Shape[2]
+	out := New(c)
+	plane := h * w
+	inv := 1 / float32(plane)
+	parallel.For(c, func(ci int) {
+		var s float32
+		for _, v := range x.Data[ci*plane : (ci+1)*plane] {
+			s += v
+		}
+		out.Data[ci] = s * inv
+	})
+	return out
+}
+
+// UpsampleNearest2x doubles the spatial dims of x [C,H,W] by nearest
+// neighbour, the upsampling used in YOLO necks and Monodepth decoders.
+func UpsampleNearest2x(x *Tensor) *Tensor {
+	c, h, w := x.Shape[0], x.Shape[1], x.Shape[2]
+	out := New(c, h*2, w*2)
+	parallel.For(c, func(ci int) {
+		src := x.Data[ci*h*w:]
+		dst := out.Data[ci*h*2*w*2:]
+		for y := 0; y < h; y++ {
+			srow := src[y*w : (y+1)*w]
+			d0 := dst[(2*y)*w*2 : (2*y)*w*2+w*2]
+			for xx, v := range srow {
+				d0[2*xx] = v
+				d0[2*xx+1] = v
+			}
+			copy(dst[(2*y+1)*w*2:(2*y+1)*w*2+w*2], d0)
+		}
+	})
+	return out
+}
+
+// ConcatChannels concatenates CHW tensors along the channel axis. All
+// inputs must share spatial dims.
+func ConcatChannels(xs ...*Tensor) *Tensor {
+	if len(xs) == 0 {
+		panic("tensor: ConcatChannels with no inputs")
+	}
+	h, w := xs[0].Shape[1], xs[0].Shape[2]
+	total := 0
+	for _, x := range xs {
+		if x.Shape[1] != h || x.Shape[2] != w {
+			panic(fmt.Sprintf("tensor: ConcatChannels spatial mismatch %v vs [%d %d]", x.Shape, h, w))
+		}
+		total += x.Shape[0]
+	}
+	out := New(total, h, w)
+	off := 0
+	for _, x := range xs {
+		copy(out.Data[off:], x.Data)
+		off += len(x.Data)
+	}
+	return out
+}
+
+// BatchNormInference applies y = gamma*(x-mean)/sqrt(var+eps) + beta per
+// channel of x [C,H,W], in place. This is the inference-time folding used
+// by every deployed model in the paper.
+func BatchNormInference(x *Tensor, gamma, beta, mean, variance []float32, eps float32) {
+	c, h, w := x.Shape[0], x.Shape[1], x.Shape[2]
+	plane := h * w
+	parallel.For(c, func(ci int) {
+		scale := gamma[ci] / sqrt32(variance[ci]+eps)
+		shift := beta[ci] - mean[ci]*scale
+		d := x.Data[ci*plane : (ci+1)*plane]
+		for i, v := range d {
+			d[i] = v*scale + shift
+		}
+	})
+}
+
+func sqrt32(v float32) float32 {
+	if v <= 0 {
+		return 0
+	}
+	return float32(math.Sqrt(float64(v)))
+}

@@ -1,0 +1,113 @@
+package tensor
+
+import (
+	"fmt"
+
+	"ocularone/internal/parallel"
+)
+
+// MatMul computes C = A × B for 2-D tensors A (m×k) and B (k×n).
+// The kernel is a cache-blocked ikj loop parallelised over row bands,
+// which keeps B rows streaming through L1/L2 and vectorises well.
+func MatMul(a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: MatMul needs rank-2 operands, got %v × %v", a.Shape, b.Shape))
+	}
+	m, k := a.Shape[0], a.Shape[1]
+	k2, n := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul inner dims %d vs %d", k, k2))
+	}
+	c := New(m, n)
+	MatMulInto(c, a, b)
+	return c
+}
+
+// MatMulInto computes dst = A × B, reusing dst's storage. dst must have
+// shape m×n and is overwritten.
+func MatMulInto(dst, a, b *Tensor) {
+	m, k := a.Shape[0], a.Shape[1]
+	n := b.Shape[1]
+	if dst.Shape[0] != m || dst.Shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulInto dst shape %v, want [%d %d]", dst.Shape, m, n))
+	}
+	for i := range dst.Data {
+		dst.Data[i] = 0
+	}
+	const kBlock = 256
+	parallel.ForRange(m, func(lo, hi int) {
+		for k0 := 0; k0 < k; k0 += kBlock {
+			k1 := k0 + kBlock
+			if k1 > k {
+				k1 = k
+			}
+			for i := lo; i < hi; i++ {
+				arow := a.Data[i*k : (i+1)*k]
+				crow := dst.Data[i*n : (i+1)*n]
+				for kk := k0; kk < k1; kk++ {
+					av := arow[kk]
+					if av == 0 {
+						continue
+					}
+					brow := b.Data[kk*n : (kk+1)*n]
+					axpy(av, brow, crow)
+				}
+			}
+		}
+	})
+}
+
+// axpy computes y += a*x over equal-length slices. Kept as a separate
+// function so the compiler eliminates bounds checks in the hot loop.
+func axpy(a float32, x, y []float32) {
+	_ = y[len(x)-1]
+	for i, xv := range x {
+		y[i] += a * xv
+	}
+}
+
+// MatVec computes y = A × x for a 2-D A (m×k) and 1-D x (k).
+func MatVec(a, x *Tensor) *Tensor {
+	if a.Rank() != 2 || x.Rank() != 1 || a.Shape[1] != x.Shape[0] {
+		panic(fmt.Sprintf("tensor: MatVec shapes %v × %v", a.Shape, x.Shape))
+	}
+	m, k := a.Shape[0], a.Shape[1]
+	y := New(m)
+	parallel.For(m, func(i int) {
+		row := a.Data[i*k : (i+1)*k]
+		var s float32
+		for j, v := range row {
+			s += v * x.Data[j]
+		}
+		y.Data[i] = s
+	})
+	return y
+}
+
+// Transpose returns the transpose of a 2-D tensor.
+func Transpose(a *Tensor) *Tensor {
+	if a.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: Transpose needs rank 2, got %v", a.Shape))
+	}
+	m, n := a.Shape[0], a.Shape[1]
+	t := New(n, m)
+	// Blocked transpose for cache friendliness on large matrices.
+	const bs = 32
+	for i0 := 0; i0 < m; i0 += bs {
+		for j0 := 0; j0 < n; j0 += bs {
+			i1, j1 := i0+bs, j0+bs
+			if i1 > m {
+				i1 = m
+			}
+			if j1 > n {
+				j1 = n
+			}
+			for i := i0; i < i1; i++ {
+				for j := j0; j < j1; j++ {
+					t.Data[j*m+i] = a.Data[i*n+j]
+				}
+			}
+		}
+	}
+	return t
+}

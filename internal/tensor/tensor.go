@@ -1,0 +1,259 @@
+// Package tensor implements dense float32 tensors and the numerical
+// kernels used by the neural-network inference engine: blocked parallel
+// matrix multiplication, im2col convolution, pooling, and elementwise
+// activations.
+//
+// The design goal is a small, allocation-conscious engine fast enough to
+// run scaled-down YOLO-style networks on CPU for the repository's
+// benchmarks, not a general autograd framework. All kernels parallelise
+// across rows/channels with internal/parallel.
+package tensor
+
+import (
+	"fmt"
+	"math"
+
+	"ocularone/internal/parallel"
+)
+
+// Tensor is a dense row-major float32 tensor. Shape is immutable after
+// construction; Data is exposed for kernel writers and zero-copy reshapes.
+type Tensor struct {
+	Shape []int
+	Data  []float32
+}
+
+// New allocates a zero-filled tensor with the given shape.
+func New(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		if d < 0 {
+			panic(fmt.Sprintf("tensor: negative dimension %v", shape))
+		}
+		n *= d
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: make([]float32, n)}
+}
+
+// FromSlice wraps data in a tensor of the given shape without copying.
+// It panics if len(data) does not match the shape volume.
+func FromSlice(data []float32, shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if n != len(data) {
+		panic(fmt.Sprintf("tensor: data length %d does not match shape %v", len(data), shape))
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: data}
+}
+
+// Len returns the number of elements.
+func (t *Tensor) Len() int { return len(t.Data) }
+
+// Dim returns the size of axis i.
+func (t *Tensor) Dim(i int) int { return t.Shape[i] }
+
+// Rank returns the number of axes.
+func (t *Tensor) Rank() int { return len(t.Shape) }
+
+// SameShape reports whether t and o have identical shapes.
+func (t *Tensor) SameShape(o *Tensor) bool {
+	if len(t.Shape) != len(o.Shape) {
+		return false
+	}
+	for i, d := range t.Shape {
+		if o.Shape[i] != d {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy.
+func (t *Tensor) Clone() *Tensor {
+	c := New(t.Shape...)
+	copy(c.Data, t.Data)
+	return c
+}
+
+// Reshape returns a view with a new shape sharing the same backing data.
+// It panics if the volumes differ.
+func (t *Tensor) Reshape(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if n != len(t.Data) {
+		panic(fmt.Sprintf("tensor: cannot reshape %v to %v", t.Shape, shape))
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: t.Data}
+}
+
+// At returns the element at the given multi-index (row-major).
+func (t *Tensor) At(idx ...int) float32 {
+	return t.Data[t.offset(idx)]
+}
+
+// Set assigns the element at the given multi-index.
+func (t *Tensor) Set(v float32, idx ...int) {
+	t.Data[t.offset(idx)] = v
+}
+
+func (t *Tensor) offset(idx []int) int {
+	if len(idx) != len(t.Shape) {
+		panic(fmt.Sprintf("tensor: index rank %d for shape %v", len(idx), t.Shape))
+	}
+	off := 0
+	for i, ix := range idx {
+		if ix < 0 || ix >= t.Shape[i] {
+			panic(fmt.Sprintf("tensor: index %v out of range for shape %v", idx, t.Shape))
+		}
+		off = off*t.Shape[i] + ix
+	}
+	return off
+}
+
+// Fill sets every element to v.
+func (t *Tensor) Fill(v float32) {
+	for i := range t.Data {
+		t.Data[i] = v
+	}
+}
+
+// Add accumulates o into t elementwise. Shapes must match.
+func (t *Tensor) Add(o *Tensor) {
+	if !t.SameShape(o) {
+		panic(fmt.Sprintf("tensor: Add shape mismatch %v vs %v", t.Shape, o.Shape))
+	}
+	for i, v := range o.Data {
+		t.Data[i] += v
+	}
+}
+
+// Scale multiplies every element by s.
+func (t *Tensor) Scale(s float32) {
+	for i := range t.Data {
+		t.Data[i] *= s
+	}
+}
+
+// Sum returns the sum of all elements in float64 precision.
+func (t *Tensor) Sum() float64 {
+	var s float64
+	for _, v := range t.Data {
+		s += float64(v)
+	}
+	return s
+}
+
+// Max returns the maximum element; it panics on an empty tensor.
+func (t *Tensor) Max() float32 {
+	if len(t.Data) == 0 {
+		panic("tensor: Max of empty tensor")
+	}
+	m := t.Data[0]
+	for _, v := range t.Data[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// ArgMax returns the flat index of the maximum element.
+func (t *Tensor) ArgMax() int {
+	if len(t.Data) == 0 {
+		panic("tensor: ArgMax of empty tensor")
+	}
+	best, bi := t.Data[0], 0
+	for i, v := range t.Data {
+		if v > best {
+			best, bi = v, i
+		}
+	}
+	return bi
+}
+
+// Sigmoid applies the logistic function in place.
+func (t *Tensor) Sigmoid() {
+	parallel.ForRange(len(t.Data), func(lo, hi int) {
+		d := t.Data[lo:hi]
+		for i, v := range d {
+			d[i] = 1 / (1 + float32(math.Exp(float64(-v))))
+		}
+	})
+}
+
+// SiLU applies x*sigmoid(x) in place — the activation used throughout
+// YOLOv8/v11 backbones.
+func (t *Tensor) SiLU() {
+	parallel.ForRange(len(t.Data), func(lo, hi int) {
+		d := t.Data[lo:hi]
+		for i, v := range d {
+			d[i] = v / (1 + float32(math.Exp(float64(-v))))
+		}
+	})
+}
+
+// ReLU applies max(0, x) in place.
+func (t *Tensor) ReLU() {
+	parallel.ForRange(len(t.Data), func(lo, hi int) {
+		d := t.Data[lo:hi]
+		for i, v := range d {
+			if v < 0 {
+				d[i] = 0
+			}
+		}
+	})
+}
+
+// Softmax normalises the last axis in place, numerically stable.
+func (t *Tensor) Softmax() {
+	if t.Rank() == 0 {
+		return
+	}
+	w := t.Shape[len(t.Shape)-1]
+	rows := len(t.Data) / w
+	parallel.For(rows, func(r int) {
+		row := t.Data[r*w : (r+1)*w]
+		m := row[0]
+		for _, v := range row[1:] {
+			if v > m {
+				m = v
+			}
+		}
+		var sum float32
+		for i, v := range row {
+			e := float32(math.Exp(float64(v - m)))
+			row[i] = e
+			sum += e
+		}
+		inv := 1 / sum
+		for i := range row {
+			row[i] *= inv
+		}
+	})
+}
+
+// Equal reports whether t and o match elementwise within tol.
+func (t *Tensor) Equal(o *Tensor, tol float32) bool {
+	if !t.SameShape(o) {
+		return false
+	}
+	for i, v := range t.Data {
+		d := v - o.Data[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders a compact description for debugging.
+func (t *Tensor) String() string {
+	return fmt.Sprintf("Tensor%v[%d elems]", t.Shape, len(t.Data))
+}

@@ -1,0 +1,154 @@
+package thermal
+
+import (
+	"testing"
+
+	"ocularone/internal/detect"
+	"ocularone/internal/imgproc"
+	"ocularone/internal/rng"
+	"ocularone/internal/scene"
+)
+
+// nightScene renders a nearly unlit scene with the VIP and a pedestrian.
+func nightScene(seed uint64) (*imgproc.Image, *scene.GroundTruth) {
+	s := &scene.Scene{
+		Background: scene.Footpath, Lighting: 0.05, CamHeightM: 1.6, Seed: seed,
+		Entities: []scene.Entity{
+			{Kind: scene.VIP, X: 0, Depth: 5, HeightM: 1.7,
+				Shirt: [3]uint8{60, 60, 160}, Pants: [3]uint8{40, 40, 60}},
+			{Kind: scene.Pedestrian, X: 2, Depth: 7, HeightM: 1.75,
+				Shirt: [3]uint8{160, 60, 60}, Pants: [3]uint8{30, 30, 30}},
+		},
+	}
+	cam := scene.DefaultCamera(320, 240, 1.6)
+	return scene.Render(s, cam)
+}
+
+func TestRenderWarmRegions(t *testing.T) {
+	_, gt := nightScene(1)
+	im := Render(DefaultCamera(), gt, 320, 240, rng.New(2))
+	cx, cy := gt.PersonBox.Center()
+	personT := im.At(int(cx), int(cy))
+	bgT := im.At(5, 5)
+	if personT-bgT < 5 {
+		t.Fatalf("person not warm: %v vs background %v", personT, bgT)
+	}
+}
+
+func TestRenderIgnoresIllumination(t *testing.T) {
+	// Same geometry at two lighting levels: thermal output identical
+	// modulo noise.
+	_, gtDay := nightScene(3)
+	im1 := Render(DefaultCamera(), gtDay, 320, 240, rng.New(4))
+	im2 := Render(DefaultCamera(), gtDay, 320, 240, rng.New(4))
+	for i := range im1.TempC {
+		if im1.TempC[i] != im2.TempC[i] {
+			t.Fatal("same-seed thermal render not deterministic")
+		}
+	}
+}
+
+func TestWarmBodiesFindsPeople(t *testing.T) {
+	_, gt := nightScene(5)
+	cam := DefaultCamera()
+	im := Render(cam, gt, 320, 240, rng.New(6))
+	warm := WarmBodies(im, cam.AmbientC, 4)
+	if len(warm) < 2 {
+		t.Fatalf("warm bodies: %d, want VIP + pedestrian", len(warm))
+	}
+	// One of the blobs overlaps the VIP.
+	hit := false
+	for _, b := range warm {
+		if b.IoU(gt.PersonBox) > 0.3 {
+			hit = true
+		}
+	}
+	if !hit {
+		t.Fatal("no warm blob over the VIP")
+	}
+}
+
+func TestWarmBodiesColdScene(t *testing.T) {
+	cam := DefaultCamera()
+	im := &Image{W: 64, H: 64, TempC: make([]float32, 64*64)}
+	for i := range im.TempC {
+		im.TempC[i] = float32(cam.AmbientC)
+	}
+	if got := WarmBodies(im, cam.AmbientC, 4); len(got) != 0 {
+		t.Fatalf("cold scene produced %d blobs", len(got))
+	}
+}
+
+func TestAttenuationWithRange(t *testing.T) {
+	// A person at 25 m must appear cooler than one at 4 m.
+	mk := func(depth float64) float64 {
+		s := &scene.Scene{
+			Background: scene.Footpath, Lighting: 1, CamHeightM: 1.6, Seed: 9,
+			Entities: []scene.Entity{{Kind: scene.VIP, X: 0, Depth: depth, HeightM: 1.7,
+				Shirt: [3]uint8{60, 60, 160}, Pants: [3]uint8{40, 40, 60}}},
+		}
+		cam := scene.DefaultCamera(320, 240, 1.6)
+		_, gt := scene.Render(s, cam)
+		tc := DefaultCamera()
+		tc.NETD = 0 // isolate the attenuation effect
+		im := Render(tc, gt, 320, 240, rng.New(10))
+		cx, cy := gt.PersonBox.Center()
+		return im.At(int(cx), int(cy))
+	}
+	near, far := mk(4), mk(25)
+	if far >= near {
+		t.Fatalf("no atmospheric attenuation: %v at 25m vs %v at 4m", far, near)
+	}
+}
+
+func TestFuseCandidatesNightOnly(t *testing.T) {
+	warm := []imgproc.Rect{{X0: 10, Y0: 10, X1: 30, Y1: 50}}
+	// Daylight: thermal proposals suppressed.
+	if got := FuseCandidates(nil, warm, 120, 30); len(got) != 0 {
+		t.Fatalf("daylight fusion emitted %d proposals", len(got))
+	}
+	// Night + silent vision: proposals appear with candidate confidence.
+	got := FuseCandidates(nil, warm, 10, 30)
+	if len(got) != 1 || got[0].Score != candidateScore {
+		t.Fatalf("night fusion %v", got)
+	}
+	// Vision detections always win.
+	vis := []detect.Box{{Rect: imgproc.Rect{X0: 1, Y0: 1, X1: 5, Y1: 5}, Score: 0.9}}
+	if got := FuseCandidates(vis, warm, 10, 30); len(got) != 1 || got[0].Score != 0.9 {
+		t.Fatalf("vision not preferred: %v", got)
+	}
+}
+
+func TestNightRecoveryEndToEnd(t *testing.T) {
+	// The headline: at night the vision detector is blind, thermal
+	// proposals keep a person candidate alive.
+	im, gt := nightScene(11)
+	if im.Luma() > 25 {
+		t.Fatalf("night scene too bright: %v", im.Luma())
+	}
+	cam := DefaultCamera()
+	th := Render(cam, gt, 320, 240, rng.New(12))
+	warm := WarmBodies(th, cam.AmbientC, 4)
+	fused := FuseCandidates(nil, warm, im.Luma(), 30)
+	if len(fused) == 0 {
+		t.Fatal("no thermal candidates at night")
+	}
+	hit := false
+	for _, b := range fused {
+		if b.Rect.IoU(gt.PersonBox) > 0.3 {
+			hit = true
+		}
+	}
+	if !hit {
+		t.Fatal("thermal candidates missed the VIP")
+	}
+}
+
+func TestRenderPanicsOnBadDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Render(DefaultCamera(), &scene.GroundTruth{}, 0, 0, rng.New(1))
+}

@@ -1,0 +1,167 @@
+package video
+
+import (
+	"testing"
+
+	"ocularone/internal/rng"
+	"ocularone/internal/scene"
+)
+
+func testSpec() Spec {
+	return Spec{
+		ID: 1, DurationSec: 2, FPS: 30, W: 160, H: 120,
+		Background: scene.Footpath, Lighting: 1.0, Seed: 99,
+	}
+}
+
+func TestNumFrames(t *testing.T) {
+	v := New(testSpec())
+	if v.NumFrames() != 60 {
+		t.Fatalf("NumFrames = %d, want 60", v.NumFrames())
+	}
+}
+
+func TestDefaultSpecPaperShape(t *testing.T) {
+	r := rng.New(5)
+	for i := 0; i < 43; i++ {
+		s := DefaultSpec(i, r.SplitN("video", i))
+		if s.DurationSec < 60 || s.DurationSec > 120 {
+			t.Fatalf("video %d duration %v outside paper's 1-2 minutes", i, s.DurationSec)
+		}
+		if s.FPS != 30 {
+			t.Fatalf("video %d FPS %d, want 30", i, s.FPS)
+		}
+	}
+}
+
+func TestExtractIndices10FPS(t *testing.T) {
+	v := New(testSpec())
+	idx := v.ExtractIndices(10)
+	// 2 seconds at 10 FPS = 20 frames, every third source frame.
+	if len(idx) != 20 {
+		t.Fatalf("extracted %d frames, want 20", len(idx))
+	}
+	if idx[0] != 0 || idx[1] != 3 || idx[2] != 6 {
+		t.Fatalf("extraction stride wrong: %v", idx[:3])
+	}
+}
+
+func TestExtractIndicesInvalidFPSFallsBack(t *testing.T) {
+	v := New(testSpec())
+	if got := len(v.ExtractIndices(0)); got != v.NumFrames() {
+		t.Fatalf("fps=0 extracted %d", got)
+	}
+	if got := len(v.ExtractIndices(1000)); got != v.NumFrames() {
+		t.Fatalf("fps>src extracted %d", got)
+	}
+}
+
+func TestFrameDeterministic(t *testing.T) {
+	v1, v2 := New(testSpec()), New(testSpec())
+	im1, _ := v1.Frame(10)
+	im2, _ := v2.Frame(10)
+	for i := range im1.Pix {
+		if im1.Pix[i] != im2.Pix[i] {
+			t.Fatal("same spec produced different frames")
+		}
+	}
+}
+
+func TestFramesCarryVIP(t *testing.T) {
+	v := New(testSpec())
+	for _, i := range []int{0, 15, 30, 59} {
+		_, gt := v.Frame(i)
+		if !gt.HasVIP {
+			t.Fatalf("frame %d lost the VIP", i)
+		}
+		if gt.VestBox.Empty() {
+			t.Fatalf("frame %d has empty vest box", i)
+		}
+	}
+}
+
+func TestVIPMovesAcrossFrames(t *testing.T) {
+	v := New(testSpec())
+	_, gt0 := v.Frame(0)
+	_, gt59 := v.Frame(59)
+	if gt0.PersonBox == gt59.PersonBox {
+		t.Fatal("VIP static across 2 seconds of video")
+	}
+}
+
+func TestFramePanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for out-of-range frame")
+		}
+	}()
+	New(testSpec()).Frame(100000)
+}
+
+func TestExtractLimit(t *testing.T) {
+	v := New(testSpec())
+	frames := v.Extract(10, 5)
+	if len(frames) != 5 {
+		t.Fatalf("limit ignored: %d frames", len(frames))
+	}
+	for i, f := range frames {
+		if f.Image == nil || f.Truth == nil {
+			t.Fatalf("frame %d missing image/truth", i)
+		}
+		if f.VideoID != 1 {
+			t.Fatalf("frame %d wrong video id %d", i, f.VideoID)
+		}
+	}
+}
+
+func TestCorpusMatchesPaperArithmetic(t *testing.T) {
+	// §2: 43 videos, 1-2 minutes, 30 FPS capture, 10 FPS extraction →
+	// 30,711 images. Our corpus must land within 10% of that total.
+	c := NewCorpus(PaperVideoCount, 160, 120, 7)
+	total := c.TotalFrames(10)
+	if total < 27640 || total > 33782 {
+		t.Fatalf("corpus yields %d frames, paper 30,711 ±10%%", total)
+	}
+	for _, v := range c.Videos {
+		if v.Spec.DurationSec < 60 || v.Spec.DurationSec > 120 {
+			t.Fatalf("video duration %v outside 1-2 minutes", v.Spec.DurationSec)
+		}
+		if v.Spec.FPS != 30 {
+			t.Fatalf("capture FPS %d", v.Spec.FPS)
+		}
+	}
+	// All three walking surfaces appear across 43 recordings.
+	if got := len(c.Backgrounds()); got != 3 {
+		t.Fatalf("backgrounds covered: %d", got)
+	}
+}
+
+func TestCorpusEachFrameStreamsAndStops(t *testing.T) {
+	c := NewCorpus(2, 160, 120, 9)
+	seen := 0
+	c.EachFrame(10, 3, func(f ExtractedFrame) bool {
+		if f.Image == nil || f.Truth == nil {
+			t.Fatal("frame missing data")
+		}
+		seen++
+		return seen < 4 // stop early
+	})
+	if seen != 4 {
+		t.Fatalf("early stop ignored: %d frames", seen)
+	}
+	// With the cap and no early stop: 2 videos × 3 frames.
+	seen = 0
+	c.EachFrame(10, 3, func(f ExtractedFrame) bool { seen++; return true })
+	if seen != 6 {
+		t.Fatalf("per-video cap ignored: %d frames", seen)
+	}
+}
+
+func TestCorpusPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewCorpus(0, 160, 120, 1)
+}
