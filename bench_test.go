@@ -9,7 +9,7 @@
 //
 // Paper-scale numbers come from `cmd/ocularone-bench -full`; the
 // benchmarks here assert the qualitative shapes (who wins, by what
-// factor) that EXPERIMENTS.md records.
+// factor) that ARCHITECTURE.md (§Experiment protocol) records.
 package ocularone_test
 
 import (
@@ -153,7 +153,7 @@ func BenchmarkFig6WorkstationInference(b *testing.B) {
 }
 
 // BenchmarkAblations regenerates the design-choice ablations of
-// DESIGN.md §5.
+// ARCHITECTURE.md (§Ablations).
 func BenchmarkAblations(b *testing.B) {
 	var results []bench.AblationResult
 	for i := 0; i < b.N; i++ {

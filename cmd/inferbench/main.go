@@ -1,12 +1,15 @@
 // Command inferbench runs latency sweeps over the benchmark models and
 // devices — the interactive counterpart of Figs. 5 and 6, with energy
-// and throughput columns.
+// and throughput columns — plus a multi-drone serving mode that runs N
+// concurrent sessions of the hybrid pipeline against one shared device
+// through the stage-graph fleet scheduler.
 //
 // Usage:
 //
 //	inferbench                          # all models × all devices
 //	inferbench -device nx -frames 1000
 //	inferbench -model yolov8x
+//	inferbench -drones 8 -model yolov8x -device rtx4090 -fps 10
 package main
 
 import (
@@ -17,6 +20,7 @@ import (
 	"ocularone/internal/device"
 	"ocularone/internal/metrics"
 	"ocularone/internal/models"
+	"ocularone/internal/pipeline"
 )
 
 func main() {
@@ -25,34 +29,36 @@ func main() {
 		modelFlag  = flag.String("model", "all", "model name (e.g. yolov8m) or 'all'")
 		frames     = flag.Int("frames", 1000, "timing frames per cell (paper: ~1,000)")
 		seed       = flag.Uint64("seed", 42, "jitter seed")
+		drones     = flag.Int("drones", 0, "fleet mode: N concurrent drone sessions sharing one device")
+		fps        = flag.Float64("fps", 10, "fleet mode: per-drone analysed frame rate")
 	)
 	flag.Parse()
 
-	devs := device.AllIDs
-	if *deviceFlag != "all" {
-		devs = nil
-		for _, d := range device.AllIDs {
-			if d.String() == *deviceFlag {
-				devs = []device.ID{d}
-			}
-		}
-		if devs == nil {
-			fmt.Fprintf(os.Stderr, "inferbench: unknown device %q\n", *deviceFlag)
+	if *drones > 0 {
+		if err := fleetMode(*drones, *modelFlag, *deviceFlag, *frames, *fps, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "inferbench:", err)
 			os.Exit(1)
 		}
+		return
+	}
+
+	devs := device.AllIDs
+	if *deviceFlag != "all" {
+		d, err := lookupDevice(*deviceFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "inferbench:", err)
+			os.Exit(1)
+		}
+		devs = []device.ID{d}
 	}
 	mods := models.AllIDs
 	if *modelFlag != "all" {
-		mods = nil
-		for _, m := range models.AllIDs {
-			if m.String() == *modelFlag {
-				mods = []models.ID{m}
-			}
-		}
-		if mods == nil {
-			fmt.Fprintf(os.Stderr, "inferbench: unknown model %q\n", *modelFlag)
+		m, err := lookupModel(*modelFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "inferbench:", err)
 			os.Exit(1)
 		}
+		mods = []models.ID{m}
 	}
 
 	fmt.Printf("%-12s %-10s %10s %10s %10s %10s %10s %10s\n",
@@ -65,4 +71,96 @@ func main() {
 				device.FPS(m, d), device.EnergyPerFrameJ(m, d))
 		}
 	}
+}
+
+// lookupDevice resolves a device flag value (no "all" in fleet mode).
+func lookupDevice(name string) (device.ID, error) {
+	for _, d := range device.AllIDs {
+		if d.String() == name {
+			return d, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown device %q", name)
+}
+
+// lookupModel resolves a model flag value (no "all" in fleet mode).
+func lookupModel(name string) (models.ID, error) {
+	for _, m := range models.AllIDs {
+		if m.String() == name {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown model %q", name)
+}
+
+// fleetMode runs N timing-only drone sessions of the hybrid pipeline —
+// the chosen detector on the chosen (shared) device, auxiliary models on
+// per-drone Orin Nanos — and prints each session's latency summary plus
+// the fleet aggregate.
+func fleetMode(drones int, modelFlag, deviceFlag string, frames int, fps float64, seed uint64) error {
+	det := models.V8XLarge
+	if modelFlag != "all" {
+		m, err := lookupModel(modelFlag)
+		if err != nil {
+			return err
+		}
+		det = m
+	}
+	shared := device.RTX4090
+	if deviceFlag != "all" {
+		d, err := lookupDevice(deviceFlag)
+		if err != nil {
+			return err
+		}
+		shared = d
+	}
+	if frames > 2000 {
+		frames = 2000 // fleet mode is per-drone, keep the sweep bounded
+	}
+	place := pipeline.EdgePlacement(device.OrinNano, det)
+	place[pipeline.StageDetect] = pipeline.Placement{Device: shared, Model: det}
+	sessions := make([]*pipeline.Session, drones)
+	for i := range sessions {
+		sessions[i] = &pipeline.Session{
+			ID: i, Frames: frames, FrameFPS: fps, EdgeRTTms: 25,
+			Policy: pipeline.DropPolicy{},
+			// Spread arrivals evenly over the frame period: independent
+			// drone feeds are uncorrelated.
+			Seed: seed + uint64(i)*211, OffsetMS: float64(i) * (1e3 / fps) / float64(drones),
+			Graph: pipeline.TimingVIPGraph(place),
+		}
+	}
+	results, err := (&pipeline.Fleet{Sessions: sessions, SharedSeed: seed ^ 0x9e3779b9}).Run()
+	if err != nil {
+		return err
+	}
+	// Edge devices are never shared: each drone flies its own Jetson,
+	// so only a workstation placement actually contends.
+	sharing := "one shared"
+	if device.Registry(shared).IsEdge() {
+		sharing = "a per-drone"
+	}
+	fmt.Printf("fleet: %d drones @ %.0f FPS, detect=%s on %s %s, aux on per-drone o-nano\n\n",
+		drones, fps, det, sharing, shared)
+	fmt.Printf("%-8s %10s %10s %10s %11s %9s\n", "drone", "median", "p95", "max", "deadline%", "dropped%")
+	var all []float64
+	totalDropped, total := 0, 0
+	for _, r := range results {
+		n := len(r.Frames) + r.Dropped
+		droppedPct := 0.0
+		if n > 0 {
+			droppedPct = 100 * float64(r.Dropped) / float64(n)
+		}
+		fmt.Printf("%-8d %9.1fms %9.1fms %9.1fms %10.1f%% %8.1f%%\n",
+			r.Session, r.E2E.MedianMS, r.E2E.P95MS, r.E2E.MaxMS, r.DeadlineOK*100, droppedPct)
+		for _, f := range r.Frames {
+			all = append(all, f.E2EMS)
+		}
+		totalDropped += r.Dropped
+		total += n
+	}
+	agg := metrics.SummarizeMS(all)
+	fmt.Printf("\nfleet aggregate: median %.1f ms, p95 %.1f ms, %d/%d frames dropped (%.1f%%)\n",
+		agg.MedianMS, agg.P95MS, totalDropped, total, 100*float64(totalDropped)/float64(total))
+	return nil
 }

@@ -1,7 +1,8 @@
 // Edge-cloud placement: the deployment question §4.2.4 of the paper
 // raises — large accurate models on the workstation, small fast ones on
-// the edge. This example runs the same drone video through three
-// placements and compares accuracy-latency trade-offs.
+// the edge. This example builds one stage graph per placement and runs
+// the same drone video through each as a session, comparing the
+// accuracy-latency trade-offs.
 package main
 
 import (
@@ -31,15 +32,10 @@ func main() {
 		os.Exit(1)
 	}
 
-	v := video.New(video.Spec{
-		ID: 1, DurationSec: 8, FPS: 30, W: 320, H: 240,
-		Background: scene.Path, Lighting: 0.95, Seed: 13, Pedestrians: 2,
-	})
-
 	type variant struct {
 		name  string
 		stack *core.Stack
-		place map[pipeline.Stage]pipeline.Placement
+		place map[pipeline.StageID]pipeline.Placement
 		rtt   float64
 	}
 	variants := []variant{
@@ -53,10 +49,21 @@ func main() {
 
 	fmt.Printf("%-42s %10s %10s %10s %10s\n", "placement", "detect%", "medianE2E", "p95E2E", "dropped")
 	for _, vt := range variants {
-		res := pipeline.Run(v, pipeline.Config{
-			Detector: vt.stack.Detector, Fall: vt.stack.Fall, Depth: vt.stack.Depth,
-			Place: vt.place, FrameFPS: 10, EdgeRTTms: vt.rtt, DropWhenBusy: true, Seed: 3,
-		}, 30)
+		// Identical feed per variant: fresh video, same spec and seed.
+		v := video.New(video.Spec{
+			ID: 1, DurationSec: 8, FPS: 30, W: 320, H: 240,
+			Background: scene.Path, Lighting: 0.95, Seed: 13, Pedestrians: 2,
+		})
+		s := &pipeline.Session{
+			Source: v, Graph: vt.stack.Graph(vt.place, 0, false),
+			Policy: pipeline.DropPolicy{}, FrameFPS: 10, MaxFrames: 30,
+			EdgeRTTms: vt.rtt, Seed: 3,
+		}
+		res, err := s.Run(nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "edge_cloud:", err)
+			os.Exit(1)
+		}
 		fmt.Printf("%-42s %9.0f%% %8.0fms %8.0fms %10d\n",
 			vt.name, res.DetectionRate*100, res.E2E.MedianMS, res.E2E.P95MS, res.Dropped)
 	}

@@ -1,0 +1,94 @@
+// Fleet serving: the paper's multi-client future work — many drones,
+// each guiding its own VIP, sharing one RTX 4090 workstation for the
+// accurate x-large detector while their companion Orin Nanos run the
+// auxiliary models. Ten concurrent drone sessions contend for the shared
+// workstation executor; the fleet scheduler replays every feed in global
+// arrival order, so queueing, drops, and per-drone latency are faithful
+// and deterministic. The same fleet runs under two back-pressure
+// policies to show why the choice matters at fleet scale.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"ocularone/internal/bench"
+	"ocularone/internal/core"
+	"ocularone/internal/device"
+	"ocularone/internal/models"
+	"ocularone/internal/pipeline"
+	"ocularone/internal/scene"
+	"ocularone/internal/video"
+)
+
+const drones = 10
+
+// buildFleet assembles the drone sessions fresh for one policy run:
+// sessions and graphs hold live state (executors, placements), so each
+// run gets its own.
+func buildFleet(stack *core.Stack, pol pipeline.Policy) *pipeline.Fleet {
+	sessions := make([]*pipeline.Session, drones)
+	for i := 0; i < drones; i++ {
+		v := video.New(video.Spec{
+			ID: i + 1, DurationSec: 4, FPS: 30, W: 320, H: 240,
+			Background: scene.Background(i % 3), Lighting: 0.9 + 0.02*float64(i%5),
+			Seed: 400 + uint64(i)*31, Pedestrians: i % 3,
+		})
+		sessions[i] = &pipeline.Session{
+			ID:     i,
+			Source: v,
+			Graph:  stack.Graph(pipeline.HybridPlacement(device.OrinNano, models.V8XLarge), 5, false),
+			Policy: pol,
+			// Stagger arrivals a few ms apart, as real uplinks would.
+			FrameFPS: 10, MaxFrames: 12, EdgeRTTms: 25,
+			Seed: 1000 + uint64(i)*17, OffsetMS: float64(i) * 4,
+		}
+	}
+	return &pipeline.Fleet{Sessions: sessions, SharedSeed: 99}
+}
+
+func runFleet(stack *core.Stack, pol pipeline.Policy) {
+	fmt.Printf("--- policy: %s ---\n", pol.Name())
+	results, err := buildFleet(stack, pol).Run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fleet:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%-8s %8s %10s %10s %11s %8s %7s\n",
+		"drone", "detect%", "medianE2E", "p95E2E", "deadline%", "dropped", "alerts")
+	totalDropped, totalFrames := 0, 0
+	for _, r := range results {
+		fmt.Printf("drone-%-2d %7.0f%% %8.0fms %8.0fms %10.0f%% %8d %7d\n",
+			r.Session, r.DetectionRate*100, r.E2E.MedianMS, r.E2E.P95MS,
+			r.DeadlineOK*100, r.Dropped, len(r.Alerts))
+		totalDropped += r.Dropped
+		totalFrames += len(r.Frames) + r.Dropped
+	}
+	fmt.Printf("fleet total: %d/%d frames shed (%.0f%%)\n\n",
+		totalDropped, totalFrames, 100*float64(totalDropped)/float64(totalFrames))
+}
+
+func main() {
+	// One shared analytics stack: the fleet operator trains the x-large
+	// detector once and serves it to every drone from the workstation.
+	suite := core.New(bench.Scale{Data: 0.01, TimingFrames: 50, W: 320, H: 240, Seed: 42, TrainFrac: 0.2})
+	stack, err := suite.BuildStack(models.YOLOv8, models.XLarge)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fleet:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("shared detector: %s\n", stack.Detector)
+	fmt.Printf("fleet: %d drones @ 10 FPS, detect on one rtx4090 (~18 ms/frame ⇒ %.0f%% load), aux on per-drone o-nano\n\n",
+		drones, float64(drones)*10*17.6/10)
+
+	// Drop-when-busy keeps latency flat but FIFO admission starves the
+	// drones whose arrival slots always land on a busy executor.
+	runFleet(stack, pipeline.DropPolicy{})
+	// A bounded queue spreads the shed load across the fleet instead:
+	// every drone keeps a share of its frames at higher latency.
+	runFleet(stack, pipeline.QueuePolicy{BudgetMS: 250})
+
+	fmt.Println("each drone keeps its own Orin Nano for pose and depth, so auxiliary")
+	fmt.Println("alerts keep flowing even while the workstation sheds detections —")
+	fmt.Println("the contention profile a multi-VIP Ocularone deployment must plan for.")
+}

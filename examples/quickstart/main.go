@@ -8,7 +8,11 @@ import (
 
 	"ocularone/internal/dataset"
 	"ocularone/internal/detect"
+	"ocularone/internal/device"
 	"ocularone/internal/models"
+	"ocularone/internal/pipeline"
+	"ocularone/internal/scene"
+	"ocularone/internal/video"
 )
 
 func main() {
@@ -60,4 +64,18 @@ func main() {
 		panic(err)
 	}
 	fmt.Printf("checkpoint: %d bytes, restored %s\n", len(ckpt), restored)
+
+	// 7. Deploy the restored detector as a stage graph on a short drone
+	//    clip — the composable pipeline API the full examples build on.
+	v := video.New(video.Spec{
+		ID: 1, DurationSec: 1, FPS: 30, W: 320, H: 240,
+		Background: scene.Footpath, Lighting: 1.0, Seed: 5,
+	})
+	g := pipeline.NewGraph().AddOn(pipeline.NewDetectStage(restored, models.V8Medium, false), device.OrinAGX)
+	res, err := (&pipeline.Session{Source: v, Graph: g, FrameFPS: 10, Seed: 2}).Run(nil)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("deployed on o-agx: %d frames, detection %.0f%%, e2e %s\n",
+		len(res.Frames), res.DetectionRate*100, res.E2E)
 }

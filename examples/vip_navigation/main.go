@@ -1,7 +1,8 @@
 // VIP navigation: the full Ocularone assistance pipeline on a synthetic
 // drone video — vest detection, pose analysis with fall alerts, depth
-// estimation with obstacle alerts — with per-frame timing simulated on a
-// Jetson Orin AGX.
+// estimation with obstacle alerts — expressed as a stage graph and run
+// as a drone session with per-frame timing simulated on a Jetson Orin
+// AGX.
 package main
 
 import (
@@ -37,16 +38,21 @@ func main() {
 	})
 	fmt.Printf("video: %d frames at %d FPS\n", v.NumFrames(), v.Spec.FPS)
 
-	// Everything on the companion edge device (Orin AGX), 10 FPS
-	// analysis — the paper's edge deployment.
-	res := pipeline.Run(v, pipeline.Config{
-		Detector: stack.Detector, Fall: stack.Fall, Depth: stack.Depth,
-		Place:          pipeline.EdgePlacement(device.OrinAGX, models.V8Medium),
-		FrameFPS:       10,
-		ObstacleAlertM: 6,
-		DropWhenBusy:   true, // live feed: skip frames while the detector is busy
-		Seed:           1,
-	}, 40)
+	// Assemble the classic detect→{pose,depth} graph, everything on the
+	// companion edge device (Orin AGX) — the paper's edge deployment —
+	// and run it as a live drone session: 10 FPS analysis with the
+	// drop-when-busy back-pressure policy of a real feed.
+	g := stack.Graph(pipeline.EdgePlacement(device.OrinAGX, models.V8Medium), 6, false)
+	fmt.Printf("graph: stages %v\n", g.Stages())
+	s := &pipeline.Session{
+		Source: v, Graph: g, Policy: pipeline.DropPolicy{},
+		FrameFPS: 10, MaxFrames: 40, Seed: 1,
+	}
+	res, err := s.Run(nil)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vip_navigation:", err)
+		os.Exit(1)
+	}
 
 	fmt.Printf("\nprocessed %d frames (%d dropped under load)\n", len(res.Frames), res.Dropped)
 	fmt.Printf("VIP detection rate: %.0f%%\n", res.DetectionRate*100)

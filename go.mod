@@ -1,0 +1,3 @@
+module ocularone
+
+go 1.21

@@ -106,13 +106,15 @@ func (c *Controller) ArmIndex() int { return c.cur }
 // Switches reports how many adaptations have occurred.
 func (c *Controller) Switches() int { return c.switches }
 
-// Observe feeds one frame outcome. At each window boundary the
+// Observe feeds one frame outcome and reports whether the active arm
+// changed (so callers — e.g. a pipeline placement policy — can re-place
+// models exactly when an adaptation fires). At each window boundary the
 // controller re-evaluates:
 //
 //   - miss rate > MissHi  → move one arm toward fast (latency pressure)
 //   - fail rate > FailHi and miss rate < MissLo → move one arm toward
 //     accurate (accuracy headroom available)
-func (c *Controller) Observe(deadlineMissed, detectionFailed bool) {
+func (c *Controller) Observe(deadlineMissed, detectionFailed bool) bool {
 	c.frames++
 	if deadlineMissed {
 		c.misses++
@@ -121,7 +123,7 @@ func (c *Controller) Observe(deadlineMissed, detectionFailed bool) {
 		c.fails++
 	}
 	if c.frames < c.cfg.Window {
-		return
+		return false
 	}
 	missRate := float64(c.misses) / float64(c.frames)
 	failRate := float64(c.fails) / float64(c.frames)
@@ -131,10 +133,13 @@ func (c *Controller) Observe(deadlineMissed, detectionFailed bool) {
 	case missRate > c.cfg.MissHi && c.cur > 0:
 		c.cur--
 		c.switches++
+		return true
 	case failRate > c.cfg.FailHi && missRate < c.cfg.MissLo && c.cur < len(c.arms)-1:
 		c.cur++
 		c.switches++
+		return true
 	}
+	return false
 }
 
 // Scenario drives a simulated deployment: a drone feed at FrameFPS with

@@ -11,7 +11,7 @@ import (
 )
 
 // AblationResult compares a full configuration against one with a single
-// design choice removed (DESIGN.md §5).
+// design choice removed (ARCHITECTURE.md §Ablations).
 type AblationResult struct {
 	Name           string
 	Metric         string
@@ -104,7 +104,7 @@ func RunAblationMemoryTerm() AblationResult {
 
 // WriteAblations renders a set of ablation results.
 func WriteAblations(w io.Writer, results []AblationResult) {
-	divider(w, "Ablations (design choices, DESIGN.md §5)")
+	divider(w, "Ablations (design choices, ARCHITECTURE.md)")
 	for _, a := range results {
 		fmt.Fprintf(w, "%-38s %-36s full=%8.2f ablated=%8.2f regression=%8.2f\n",
 			a.Name, a.Metric, a.Full, a.Ablated, a.Regression())

@@ -6,7 +6,9 @@ import (
 
 	"ocularone/internal/adaptive"
 	"ocularone/internal/device"
+	"ocularone/internal/metrics"
 	"ocularone/internal/models"
+	"ocularone/internal/pipeline"
 )
 
 // EfficiencyRow extends the paper's Fig. 5/6 study with the economics
@@ -48,6 +50,78 @@ func WriteEfficiency(w io.Writer, rows []EfficiencyRow) {
 	for _, r := range rows {
 		fmt.Fprintf(w, "%-12s %-10s %10.1f %14.2f %12.3f %10.2f\n",
 			r.Model, r.Device, r.FPS, r.FPSPerDollar, r.FPSPerWatt, r.JoulesFrame)
+	}
+}
+
+// FleetRow summarises one fleet size of the multi-drone contention
+// study: N drones each running the hybrid deployment (x-large detector
+// on the shared workstation, auxiliary models on their own Orin Nano)
+// at 10 FPS with the drop-when-busy policy.
+type FleetRow struct {
+	Drones      int
+	E2E         metrics.LatencySummary
+	DeadlinePct float64 // frames meeting the 100 ms period
+	DroppedPct  float64 // frames shed at the shared detector
+}
+
+// RunFleetStudy sweeps fleet sizes against one shared RTX 4090 — the
+// multi-client serving question the paper's §5 future work raises. The
+// sweep is timing-only (no pixel analytics), so it isolates the queueing
+// behaviour of the shared workstation executor: at ~18 ms per x-large
+// inference, six 10 FPS drones saturate it and the drop rate takes off.
+func RunFleetStudy(seed uint64) ([]FleetRow, error) {
+	var out []FleetRow
+	for _, drones := range []int{1, 2, 4, 8} {
+		const periodMS = 100 // 10 FPS
+		sessions := make([]*pipeline.Session, drones)
+		for i := range sessions {
+			sessions[i] = &pipeline.Session{
+				ID: i, Frames: 150, FrameFPS: 10, EdgeRTTms: 25,
+				Policy: pipeline.DropPolicy{},
+				// Evenly spread arrivals: independent feeds are
+				// uncorrelated, so contention comes from load, not
+				// phase alignment.
+				Seed: seed + uint64(i)*211, OffsetMS: float64(i) * periodMS / float64(drones),
+				Graph: pipeline.TimingVIPGraph(pipeline.HybridPlacement(device.OrinNano, models.V8XLarge)),
+			}
+		}
+		fleet := pipeline.Fleet{Sessions: sessions, SharedSeed: seed ^ 0x9e3779b9}
+		results, err := fleet.Run()
+		if err != nil {
+			return nil, fmt.Errorf("bench: fleet of %d: %w", drones, err)
+		}
+		var e2e []float64
+		deadlineHits, processed, dropped := 0, 0, 0
+		for _, r := range results {
+			for _, f := range r.Frames {
+				e2e = append(e2e, f.E2EMS)
+				if f.Deadline {
+					deadlineHits++
+				}
+			}
+			processed += len(r.Frames)
+			dropped += r.Dropped
+		}
+		row := FleetRow{Drones: drones, E2E: metrics.SummarizeMS(e2e)}
+		if processed > 0 {
+			row.DeadlinePct = 100 * float64(deadlineHits) / float64(processed)
+		}
+		if total := processed + dropped; total > 0 {
+			row.DroppedPct = 100 * float64(dropped) / float64(total)
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// WriteFleetStudy renders the fleet contention sweep.
+func WriteFleetStudy(w io.Writer, rows []FleetRow) {
+	divider(w, "Extension: multi-drone fleet contention on one shared RTX 4090")
+	fmt.Fprintf(w, "%-8s %10s %10s %10s %11s %10s\n",
+		"drones", "median", "p95", "max", "deadline%", "dropped%")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8d %9.1fms %9.1fms %9.1fms %10.1f%% %9.1f%%\n",
+			r.Drones, r.E2E.MedianMS, r.E2E.P95MS, r.E2E.MaxMS, r.DeadlinePct, r.DroppedPct)
 	}
 }
 

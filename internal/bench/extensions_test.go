@@ -101,3 +101,33 @@ func TestCSVAccuracy(t *testing.T) {
 		t.Fatal("missing expected row")
 	}
 }
+
+func TestFleetStudyContentionGrows(t *testing.T) {
+	rows, err := RunFleetStudy(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 || rows[0].Drones != 1 || rows[3].Drones != 8 {
+		t.Fatalf("rows %+v", rows)
+	}
+	// A lone drone keeps the deadline comfortably on the hybrid
+	// deployment; eight drones oversubscribe the shared workstation
+	// (~140% utilisation) and must shed a visible share of frames.
+	if rows[0].DroppedPct > 20 {
+		t.Fatalf("solo drone dropped %.1f%%", rows[0].DroppedPct)
+	}
+	if rows[3].DroppedPct <= rows[0].DroppedPct {
+		t.Fatalf("contention invisible: 1 drone %.1f%%, 8 drones %.1f%% dropped",
+			rows[0].DroppedPct, rows[3].DroppedPct)
+	}
+	for _, r := range rows {
+		if r.E2E.N == 0 || r.E2E.MedianMS <= 0 {
+			t.Fatalf("degenerate summary for %d drones", r.Drones)
+		}
+	}
+	var sb strings.Builder
+	WriteFleetStudy(&sb, rows)
+	if !strings.Contains(sb.String(), "drones") {
+		t.Fatal("fleet study output incomplete")
+	}
+}

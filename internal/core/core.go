@@ -8,12 +8,14 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 
 	"ocularone/internal/bench"
 	"ocularone/internal/dataset"
 	"ocularone/internal/depth"
 	"ocularone/internal/detect"
 	"ocularone/internal/models"
+	"ocularone/internal/pipeline"
 	"ocularone/internal/pose"
 	"ocularone/internal/scene"
 )
@@ -105,7 +107,7 @@ var experiments = map[string]Experiment{
 		},
 	},
 	"ablations": {
-		Name: "ablations", Desc: "Design-choice ablations (DESIGN.md §5)",
+		Name: "ablations", Desc: "Design-choice ablations (ARCHITECTURE.md §Ablations)",
 		Run: func(s *Suite, w io.Writer) error {
 			bench.WriteAblations(w, []bench.AblationResult{
 				bench.RunAblationContrastNorm(s.Scale),
@@ -126,6 +128,17 @@ var experiments = map[string]Experiment{
 		Name: "ext-efficiency", Desc: "Extension: throughput per dollar / per watt across devices",
 		Run: func(s *Suite, w io.Writer) error {
 			bench.WriteEfficiency(w, bench.RunEfficiency())
+			return nil
+		},
+	},
+	"ext-fleet": {
+		Name: "ext-fleet", Desc: "Extension: multi-drone fleet contention on a shared workstation",
+		Run: func(s *Suite, w io.Writer) error {
+			rows, err := bench.RunFleetStudy(s.Scale.Seed)
+			if err != nil {
+				return err
+			}
+			bench.WriteFleetStudy(w, rows)
 			return nil
 		},
 	},
@@ -156,10 +169,46 @@ func (s *Suite) Run(name string, w io.Writer) error {
 	return e.Run(s, w)
 }
 
-// RunAll executes every experiment except the redundant combined runner.
+// runAllOrder derives RunAll's execution order from the experiments
+// registry — tables, then figures, then ablations and extensions — with
+// the combined fig3+4 runner replacing its fig3/fig4 components so the
+// training pass is shared. Deriving from the registry (instead of a
+// hardcoded list) means newly registered experiments are picked up
+// automatically and the order can never drift to unknown names.
+func runAllOrder() []string {
+	_, combined := experiments["fig3+4"]
+	rank := func(n string) int {
+		switch {
+		case strings.HasPrefix(n, "table"):
+			return 0
+		case strings.HasPrefix(n, "fig"):
+			return 1
+		case n == "ablations":
+			return 2
+		default:
+			return 3
+		}
+	}
+	var out []string
+	for _, n := range ExperimentNames() {
+		if combined && (n == "fig3" || n == "fig4") {
+			continue
+		}
+		out = append(out, n)
+	}
+	sort.SliceStable(out, func(a, b int) bool {
+		if ra, rb := rank(out[a]), rank(out[b]); ra != rb {
+			return ra < rb
+		}
+		return out[a] < out[b]
+	})
+	return out
+}
+
+// RunAll executes every registered experiment (with fig3+4 collapsing
+// its two component figures), erroring on the first failure.
 func (s *Suite) RunAll(w io.Writer) error {
-	order := []string{"table1", "table2", "table3", "fig1", "fig3+4", "fig5", "fig6", "ablations", "ext-adaptive", "ext-efficiency"}
-	for _, name := range order {
+	for _, name := range runAllOrder() {
 		if err := s.Run(name, w); err != nil {
 			return fmt.Errorf("core: experiment %s: %w", name, err)
 		}
@@ -173,6 +222,15 @@ type Stack struct {
 	Fall     *pose.FallClassifier
 	Depth    *depth.Estimator
 	Split    dataset.Split
+}
+
+// Graph assembles the stack into the classic detect→{pose,depth}
+// pipeline graph with the given placements (typically from
+// pipeline.EdgePlacement or pipeline.HybridPlacement). The graph is
+// ready for a pipeline.Session, and further stages can be chained onto
+// it with Add before running.
+func (st *Stack) Graph(place map[pipeline.StageID]pipeline.Placement, obstacleAlertM float64, useTracker bool) *pipeline.Graph {
+	return pipeline.VIPGraph(st.Detector, st.Fall, st.Depth, place, obstacleAlertM, useTracker)
 }
 
 // BuildStack trains a full analytics stack at the suite's scale: a vest

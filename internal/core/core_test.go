@@ -109,3 +109,44 @@ func TestRunExtensionExperiments(t *testing.T) {
 		}
 	}
 }
+
+func TestRunAllOrderDerivedFromRegistry(t *testing.T) {
+	order := runAllOrder()
+	seen := map[string]bool{}
+	for _, n := range order {
+		if n == "fig3" || n == "fig4" {
+			t.Fatalf("combined runner did not collapse %s", n)
+		}
+		if seen[n] {
+			t.Fatalf("duplicate %s in RunAll order", n)
+		}
+		seen[n] = true
+		if _, ok := Describe(n); !ok {
+			t.Fatalf("RunAll order contains unknown experiment %q", n)
+		}
+	}
+	// Every registered experiment except the collapsed figures appears.
+	for _, n := range ExperimentNames() {
+		if n == "fig3" || n == "fig4" {
+			continue
+		}
+		if !seen[n] {
+			t.Fatalf("RunAll order missing %s", n)
+		}
+	}
+	// Tables lead, so the cheap static sections print before training runs.
+	if len(order) == 0 || order[0] != "table1" {
+		t.Fatalf("order %v does not lead with table1", order)
+	}
+}
+
+func TestRunFleetExperiment(t *testing.T) {
+	s := New(testScale)
+	var sb strings.Builder
+	if err := s.Run("ext-fleet", &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "drones") {
+		t.Fatal("ext-fleet output incomplete")
+	}
+}

@@ -9,7 +9,7 @@
 // architecture efficiency, with a fixed per-inference launch overhead
 // and a utilisation factor for memory-bound (decoder-heavy) models. The
 // calibration constants are documented inline and validated against the
-// ranges the paper reports (DESIGN.md §2, EXPERIMENTS.md).
+// ranges the paper reports (ARCHITECTURE.md §Latency model).
 package device
 
 import "fmt"

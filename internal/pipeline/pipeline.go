@@ -1,19 +1,28 @@
-// Package pipeline composes the full Ocularone VIP-assistance stack —
-// vest detection, body-pose analysis with fall classification, and depth
-// estimation — into a streaming pipeline over drone video, with each
-// stage placed on a (simulated) edge or workstation device.
+// Package pipeline composes drone video analytics into composable stage
+// graphs — vest detection, body-pose analysis with fall classification,
+// depth estimation, and any user-defined stage — with each stage placed
+// on a (simulated) edge or workstation device.
 //
 // This is the application the paper's benchmark numbers serve: §4.2.4
 // motivates hosting large accurate models on the workstation and small
-// ones on the edge. The pipeline simulates per-frame timing with the
-// device latency model (plus network round trips for off-edge stages)
-// while running the real analytics on the rendered frames, and emits the
-// safety alerts the Ocularone system is built around.
+// ones on the edge. The package has three layers:
+//
+//   - Stage/Graph (graph.go): a validated DAG of analytics stages with
+//     per-stage placements and pluggable back-pressure policies.
+//   - Session/Fleet (session.go): one drone feed per session; a fleet
+//     runs N sessions concurrently against shared workstation executors,
+//     modeling the multi-client contention of the paper's future work,
+//     with a PlacementPolicy hook for live mid-stream re-placement.
+//   - The legacy API (this file): Run and the placement helpers are
+//     thin wrappers assembling the classic three-stage graph.
+//
+// Analytics are real (rendered pixels in, alerts out); per-frame timing
+// is simulated with the device latency model (plus network round trips
+// for off-edge stages). See ARCHITECTURE.md for the package map.
 package pipeline
 
 import (
 	"fmt"
-	"math"
 
 	"ocularone/internal/depth"
 	"ocularone/internal/detect"
@@ -22,23 +31,23 @@ import (
 	"ocularone/internal/metrics"
 	"ocularone/internal/models"
 	"ocularone/internal/pose"
-	"ocularone/internal/track"
 	"ocularone/internal/video"
 )
 
-// Stage identifies one analytics stage.
-type Stage int
+// StageID identifies one of the classic built-in stages (legacy API;
+// graph stages are identified by name).
+type StageID int
 
-// Pipeline stages.
+// Classic pipeline stages.
 const (
-	StageDetect Stage = iota
+	StageDetect StageID = iota
 	StagePose
 	StageDepth
 	numStages
 )
 
 // String names the stage.
-func (s Stage) String() string {
+func (s StageID) String() string {
 	switch s {
 	case StageDetect:
 		return "detect"
@@ -51,20 +60,14 @@ func (s Stage) String() string {
 	}
 }
 
-// Placement maps each stage to the device hosting its model and the
-// model identity used for latency simulation.
-type Placement struct {
-	Device device.ID
-	Model  models.ID
-}
-
-// Config assembles a pipeline.
+// Config assembles the classic three-stage pipeline (legacy API; new
+// code builds a Graph and Session directly).
 type Config struct {
 	Detector *detect.Detector
 	Fall     *pose.FallClassifier
 	Depth    *depth.Estimator
 
-	Place map[Stage]Placement
+	Place map[StageID]Placement
 	// EdgeRTTms is the round-trip latency to a stage not hosted on the
 	// drone's companion edge device (i.e. the workstation).
 	EdgeRTTms float64
@@ -72,9 +75,9 @@ type Config struct {
 	FrameFPS float64
 	// ObstacleAlertM is the proximity threshold for obstacle alerts.
 	ObstacleAlertM float64
-	// DropWhenBusy skips frames that arrive while the detector is still
-	// processing an earlier one — the back-pressure policy of a live
-	// drone pipeline. Without it, an overloaded stage queues unboundedly.
+	// DropWhenBusy selects the DropPolicy back-pressure policy: frames
+	// arriving while the detector is busy are skipped, stale auxiliary
+	// work is shed. Without it the pipeline queues unboundedly.
 	DropWhenBusy bool
 	// UseTracker bridges detector dropouts with the temporal tracker
 	// (internal/track): the VIP counts as present while the track is
@@ -119,6 +122,9 @@ type Alert struct {
 }
 
 // FrameStat records the simulated timing of one processed frame.
+// StageMS holds the arrival-to-finish latency of every stage that ran
+// (including network round trips); the legacy Detect/Pose/Depth fields
+// mirror the built-in stage names.
 type FrameStat struct {
 	FrameIndex int
 	DetectMS   float64
@@ -127,9 +133,17 @@ type FrameStat struct {
 	E2EMS      float64
 	Deadline   bool // finished within the frame period
 	VIPFound   bool
+	StageMS    map[string]float64
+	// Dropped marks a synthetic stat for a frame the back-pressure
+	// policy rejected whole. Dropped stats are reported to placement
+	// policies (a drop is latency pressure) but never appended to
+	// Result.Frames; VIPFound is left true so a drop does not read as
+	// an accuracy failure.
+	Dropped bool
 }
 
-// Result aggregates a pipeline run.
+// Result aggregates a pipeline run (legacy shape; the graph API returns
+// the richer StreamResult).
 type Result struct {
 	Frames     []FrameStat
 	Alerts     []Alert
@@ -142,140 +156,29 @@ type Result struct {
 }
 
 // Run processes the first maxFrames extracted frames of the video
-// through the pipeline. Analytics are real (rendered pixels in, alerts
-// out); timing is simulated per the device model.
+// through the classic three-stage pipeline. It is a thin wrapper over
+// the stage-graph API: the configuration is assembled into a VIPGraph
+// and executed as a standalone Session.
 func Run(v *video.Video, cfg Config, maxFrames int) Result {
 	if cfg.FrameFPS <= 0 {
 		cfg.FrameFPS = 10
 	}
-	if cfg.ObstacleAlertM <= 0 {
-		cfg.ObstacleAlertM = 4
+	g := VIPGraph(cfg.Detector, cfg.Fall, cfg.Depth, cfg.Place, cfg.ObstacleAlertM, cfg.UseTracker)
+	var pol Policy = QueuePolicy{}
+	if cfg.DropWhenBusy {
+		pol = DropPolicy{}
 	}
-	period := 1e3 / cfg.FrameFPS
-
-	detPlace := cfg.Place[StageDetect]
-	posePlace := cfg.Place[StagePose]
-	depthPlace := cfg.Place[StageDepth]
-	// Stages placed on the same device contend for its single GPU
-	// stream: share one executor per distinct device.
-	executors := map[device.ID]*device.Executor{}
-	executorFor := func(d device.ID) *device.Executor {
-		if ex, ok := executors[d]; ok {
-			return ex
-		}
-		ex := device.NewExecutor(d, cfg.Seed+uint64(d)+1)
-		executors[d] = ex
-		return ex
+	s := &Session{
+		Source: v, Graph: g, Policy: pol,
+		FrameFPS: cfg.FrameFPS, MaxFrames: maxFrames,
+		EdgeRTTms: cfg.EdgeRTTms, Seed: cfg.Seed,
 	}
-	detEx := executorFor(detPlace.Device)
-	poseEx := executorFor(posePlace.Device)
-	depthEx := executorFor(depthPlace.Device)
-
-	frames := v.Extract(int(cfg.FrameFPS), maxFrames)
-	res := Result{}
-	var e2e []float64
-	deadlineHits := 0
-	found := 0
-	detBusyUntil := 0.0
-	var trk *track.Tracker
-	if cfg.UseTracker {
-		trk = track.New(track.Config{})
+	res, err := s.Run(nil)
+	if err != nil {
+		// The built-in graph is a valid DAG by construction.
+		panic(fmt.Sprintf("pipeline: %v", err))
 	}
-	for i, f := range frames {
-		arrival := float64(i) * period
-		if cfg.DropWhenBusy && detBusyUntil > arrival {
-			res.Dropped++
-			continue
-		}
-		stat := FrameStat{FrameIndex: f.FrameIndex}
-
-		// Stage 1: vest detection.
-		boxes := cfg.Detector.Detect(f.Image)
-		det := detEx.Run([]device.Job{{Model: detPlace.Model, ArrivalMS: arrival}})[0]
-		detBusyUntil = det.FinishMS
-		stat.DetectMS = det.LatencyMS() + rtt(cfg, detPlace)
-		detDone := arrival + stat.DetectMS
-
-		var best detect.Box
-		for _, b := range boxes {
-			if b.Score > best.Score {
-				best = b
-			}
-		}
-		stat.VIPFound = best.Score > 0
-		if trk != nil {
-			// Temporal bridging: the track carries the VIP through
-			// single-frame detector misses.
-			state := trk.Update(boxes)
-			if tb, ok := trk.Box(); ok {
-				stat.VIPFound = true
-				if best.Score == 0 {
-					best = detect.Box{Rect: tb, Score: trk.Confidence()}
-				}
-			}
-			if state == track.Lost || state == track.Empty {
-				stat.VIPFound = false
-			}
-		}
-		if !stat.VIPFound {
-			res.Alerts = append(res.Alerts, Alert{Kind: AlertVIPLost, FrameIndex: f.FrameIndex,
-				Detail: "hazard vest not detected"})
-		} else {
-			found++
-		}
-
-		// Stages 2+3 run concurrently once the detection (and its person
-		// region) is available. A stage whose device is still busy past
-		// this frame's deadline skips its turn — situational-awareness
-		// results for an old frame are stale by definition.
-		auxFresh := func(ex *device.Executor) bool {
-			return !cfg.DropWhenBusy || ex.BusyUntilMS() <= detDone+period
-		}
-		var poseMS, depthMS float64
-		if stat.VIPFound && auxFresh(poseEx) {
-			personBox := expandToPerson(best.Rect, f.Image.W, f.Image.H)
-			if est, ok := pose.Analyze(f.Image, personBox); ok && cfg.Fall != nil {
-				if cfg.Fall.IsFallen(est) {
-					res.Alerts = append(res.Alerts, Alert{Kind: AlertFall, FrameIndex: f.FrameIndex,
-						Detail: fmt.Sprintf("aspect=%.2f angle=%.2f", est.Aspect, math.Abs(est.AxisAngle))})
-				}
-			}
-			pc := poseEx.Run([]device.Job{{Model: posePlace.Model, ArrivalMS: detDone}})[0]
-			poseMS = pc.LatencyMS() + rtt(cfg, posePlace)
-		}
-		if cfg.Depth != nil && cfg.Depth.Trained && auxFresh(depthEx) {
-			obstacles := f.Truth.DistractorBoxes
-			if d := cfg.Depth.NearestObstacleM(f.Image, obstacles); d < cfg.ObstacleAlertM {
-				res.Alerts = append(res.Alerts, Alert{Kind: AlertObstacle, FrameIndex: f.FrameIndex,
-					Detail: fmt.Sprintf("obstacle at %.1f m", d)})
-			}
-			dc := depthEx.Run([]device.Job{{Model: depthPlace.Model, ArrivalMS: detDone}})[0]
-			depthMS = dc.LatencyMS() + rtt(cfg, depthPlace)
-		}
-		stat.PoseMS = poseMS
-		stat.DepthMS = depthMS
-		stat.E2EMS = stat.DetectMS + math.Max(poseMS, depthMS)
-		stat.Deadline = stat.E2EMS <= period
-		if stat.Deadline {
-			deadlineHits++
-		}
-		e2e = append(e2e, stat.E2EMS)
-		res.Frames = append(res.Frames, stat)
-	}
-	if n := len(res.Frames); n > 0 {
-		res.DeadlineOK = float64(deadlineHits) / float64(n)
-		res.DetectionRate = float64(found) / float64(n)
-	}
-	res.E2E = metrics.SummarizeMS(e2e)
-	return res
-}
-
-// rtt charges the network round trip for stages not on the edge device.
-func rtt(cfg Config, p Placement) float64 {
-	if device.Registry(p.Device).IsEdge() {
-		return 0
-	}
-	return cfg.EdgeRTTms
+	return res.Legacy()
 }
 
 // expandToPerson grows a vest box to cover the whole person: the vest
@@ -290,8 +193,8 @@ func expandToPerson(vest imgproc.Rect, w, h int) imgproc.Rect {
 
 // EdgePlacement returns the all-on-edge configuration the paper's Fig. 5
 // benchmarks correspond to.
-func EdgePlacement(dev device.ID, det models.ID) map[Stage]Placement {
-	return map[Stage]Placement{
+func EdgePlacement(dev device.ID, det models.ID) map[StageID]Placement {
+	return map[StageID]Placement{
 		StageDetect: {Device: dev, Model: det},
 		StagePose:   {Device: dev, Model: models.Bodypose},
 		StageDepth:  {Device: dev, Model: models.Monodepth2},
@@ -301,8 +204,8 @@ func EdgePlacement(dev device.ID, det models.ID) map[Stage]Placement {
 // HybridPlacement hosts the detector on the workstation (large accurate
 // model) and the auxiliary models on the edge — the deployment §4.2.4
 // advocates.
-func HybridPlacement(edge device.ID, det models.ID) map[Stage]Placement {
-	return map[Stage]Placement{
+func HybridPlacement(edge device.ID, det models.ID) map[StageID]Placement {
+	return map[StageID]Placement{
 		StageDetect: {Device: device.RTX4090, Model: det},
 		StagePose:   {Device: edge, Model: models.Bodypose},
 		StageDepth:  {Device: edge, Model: models.Monodepth2},

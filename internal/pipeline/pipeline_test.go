@@ -102,7 +102,7 @@ func TestRunEdgePipeline(t *testing.T) {
 
 func TestEdgeVsWorkstationLatency(t *testing.T) {
 	det, fall, est := buildStack(t)
-	mk := func(place map[Stage]Placement, rttMS float64) Result {
+	mk := func(place map[StageID]Placement, rttMS float64) Result {
 		return Run(testVideo(), Config{
 			Detector: det, Fall: fall, Depth: est,
 			Place: place, FrameFPS: 10, Seed: 2, EdgeRTTms: rttMS,

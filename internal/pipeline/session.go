@@ -1,0 +1,445 @@
+package pipeline
+
+import (
+	"fmt"
+	"sort"
+
+	"ocularone/internal/adaptive"
+	"ocularone/internal/device"
+	"ocularone/internal/metrics"
+	"ocularone/internal/parallel"
+	"ocularone/internal/video"
+)
+
+// FrameSource feeds a session with annotated frames. *video.Video
+// satisfies it; custom feeds (site cameras, replayed corpora) implement
+// it to route arbitrary footage through a stage graph.
+type FrameSource interface {
+	Extract(targetFPS, limit int) []video.ExtractedFrame
+}
+
+// Session runs one drone feed through a stage graph. Each session owns
+// its graph (stages may be stateful), its local edge executors, and its
+// live placement map; a Fleet shares one workstation cluster between
+// sessions to model multi-client contention.
+//
+// A Session may be Run more than once: every run starts from fresh
+// local executors (same Seed, so identical jitter streams) and from the
+// graph's default placements. Graph stages, however, keep their own
+// state across runs — a DetectStage tracker remembers the previous
+// stream — so build a fresh graph when runs must be independent.
+type Session struct {
+	// ID tags the session in fleet results (and FrameCtx.Session).
+	ID int
+	// Source supplies frames. When nil, the session generates Frames
+	// timing-only frames (nil image) — the contention-study mode.
+	Source FrameSource
+	// Frames is the synthetic frame count used when Source is nil.
+	Frames int
+	// Graph is the session's validated stage graph.
+	Graph *Graph
+	// Policy is the back-pressure policy (default QueuePolicy{}).
+	Policy Policy
+	// Placer, when non-nil, observes each frame's stat and may re-place
+	// stages live between frames (see PlacementPolicy).
+	Placer PlacementPolicy
+	// FrameFPS is the analysed frame rate (default 10, as the paper).
+	FrameFPS float64
+	// MaxFrames caps processed frames (0 = no cap).
+	MaxFrames int
+	// EdgeRTTms is the round trip charged for stages placed off-edge.
+	EdgeRTTms float64
+	// OffsetMS staggers this session's arrivals within a fleet.
+	OffsetMS float64
+	// Seed drives the session's local executor jitter.
+	Seed uint64
+
+	local *device.Cluster
+}
+
+func (s *Session) defaults() {
+	if s.FrameFPS <= 0 {
+		s.FrameFPS = 10
+	}
+	if s.Policy == nil {
+		s.Policy = QueuePolicy{}
+	}
+	// Fresh executors every run: a reused session must not inherit the
+	// previous run's busy horizons and thermal state.
+	s.local = device.NewCluster(s.Seed)
+}
+
+func (s *Session) periodMS() float64 { return 1e3 / s.FrameFPS }
+
+// extract materialises the session's frame list.
+func (s *Session) extract() []video.ExtractedFrame {
+	if s.Source != nil {
+		return s.Source.Extract(int(s.FrameFPS), s.MaxFrames)
+	}
+	n := s.Frames
+	if s.MaxFrames > 0 && s.MaxFrames < n {
+		n = s.MaxFrames
+	}
+	out := make([]video.ExtractedFrame, n)
+	for i := range out {
+		out[i] = video.ExtractedFrame{FrameIndex: i}
+	}
+	return out
+}
+
+// StreamResult aggregates one session's run.
+type StreamResult struct {
+	Session int
+	Frames  []FrameStat
+	Alerts  []Alert
+	E2E     metrics.LatencySummary
+	// DeadlineOK is the fraction of processed frames meeting the period.
+	DeadlineOK float64
+	// DetectionRate is the fraction of processed frames with VIP found.
+	DetectionRate float64
+	// Dropped counts frames rejected whole at the graph roots.
+	Dropped int
+	// StageSkips counts per-stage policy skips (stale work shed).
+	StageSkips map[string]int
+	// Rebinds counts live placement changes applied by the Placer.
+	Rebinds int
+}
+
+// Legacy converts the stream result to the original Result shape.
+func (r StreamResult) Legacy() Result {
+	return Result{
+		Frames: r.Frames, Alerts: r.Alerts, E2E: r.E2E,
+		DeadlineOK: r.DeadlineOK, DetectionRate: r.DetectionRate, Dropped: r.Dropped,
+	}
+}
+
+// PlacementPolicy adjusts stage placements live, between frames — the
+// hook through which adaptive controllers drive mid-stream re-placement.
+// Rebind observes one frame's stat and returns the placement changes to
+// apply before the next frame (nil or empty = keep). Dropped frames are
+// observed as synthetic stats with Dropped=true and Deadline=false: a
+// shed frame is latency pressure the policy must see.
+type PlacementPolicy interface {
+	Rebind(stat FrameStat) map[string]Placement
+}
+
+// AdaptivePlacement plugs adaptive.Controller in as a PlacementPolicy:
+// every processed frame feeds the controller's deadline and detection
+// signals, and whenever the controller switches arms the named stage is
+// re-placed onto the new arm's device and model.
+type AdaptivePlacement struct {
+	// Stage is the re-placed stage (typically "detect").
+	Stage string
+	Ctl   *adaptive.Controller
+}
+
+// Rebind feeds the frame outcome to the controller and emits the new
+// placement when the active arm changed.
+func (a *AdaptivePlacement) Rebind(stat FrameStat) map[string]Placement {
+	if !a.Ctl.Observe(!stat.Deadline, !stat.VIPFound) {
+		return nil
+	}
+	arm := a.Ctl.Arm()
+	return map[string]Placement{a.Stage: {Device: arm.Dev, Model: arm.Model}}
+}
+
+// execEnv is one session's live scheduling state: placements, executor
+// resolution, and drop/skip accounting.
+type execEnv struct {
+	sess    *Session
+	place   map[string]Placement
+	shared  *device.Cluster // fleet-shared executors for non-edge devices
+	skips   map[string]int
+	drops   int
+	rebinds int
+}
+
+func (s *Session) env(shared *device.Cluster) *execEnv {
+	return &execEnv{sess: s, place: s.Graph.Placements(), shared: shared, skips: map[string]int{}}
+}
+
+// exFor resolves a device to an executor: edge devices are the drone's
+// own companions (session-local), everything else is fleet-shared when
+// a shared cluster exists.
+func (e *execEnv) exFor(d device.ID) *device.Executor {
+	if e.shared != nil && !device.Registry(d).IsEdge() {
+		return e.shared.Executor(d)
+	}
+	return e.sess.local.Executor(d)
+}
+
+// rtt charges the network round trip for stages not on the edge device.
+func (e *execEnv) rtt(p Placement) float64 {
+	if device.Registry(p.Device).IsEdge() {
+		return 0
+	}
+	return e.sess.EdgeRTTms
+}
+
+// admit applies the back-pressure policy at the graph roots.
+func (e *execEnv) admit(arrival float64) bool {
+	period := e.sess.periodMS()
+	for _, r := range e.sess.Graph.roots {
+		ex := e.exFor(e.place[r].Device)
+		if !e.sess.Policy.AdmitFrame(arrival, ex.BusyUntilMS(), period) {
+			return false
+		}
+	}
+	return true
+}
+
+// runFrame schedules one admitted frame's stages onto executors in
+// topological order. analyze performs-or-recalls a stage's analytics
+// (inline for single sessions, precomputed for fleets) and reports
+// whether the stage ran. It returns the frame's stat and the set of
+// stages whose results were delivered.
+func (e *execEnv) runFrame(fc *FrameCtx, arrival float64, analyze func(Stage, *FrameCtx) bool) (FrameStat, map[string]bool) {
+	g := e.sess.Graph
+	period := e.sess.periodMS()
+	stat := FrameStat{FrameIndex: fc.FrameIndex, StageMS: map[string]float64{}}
+	done := map[string]float64{}
+	delivered := map[string]bool{}
+	for _, idx := range g.order {
+		n := g.nodes[idx]
+		name := n.stage.Name()
+		ready := arrival
+		for _, d := range n.deps {
+			if t, ok := done[d]; ok && t > ready {
+				ready = t
+			}
+		}
+		p := e.place[name]
+		ex := e.exFor(p.Device)
+		if len(n.deps) > 0 && !e.sess.Policy.RunStage(ready, ex.BusyUntilMS(), period) {
+			e.skips[name]++
+			continue
+		}
+		fc.cur = name
+		ran := analyze(n.stage, fc)
+		fc.ran[name] = ran
+		if !ran {
+			continue
+		}
+		c := ex.Run([]device.Job{{Model: p.Model, ArrivalMS: ready}})[0]
+		lat := c.LatencyMS() + e.rtt(p)
+		done[name] = ready + lat
+		stat.StageMS[name] = lat
+		delivered[name] = true
+	}
+	var e2e float64
+	for _, t := range done {
+		if t-arrival > e2e {
+			e2e = t - arrival
+		}
+	}
+	stat.E2EMS = e2e
+	stat.Deadline = e2e <= period
+	stat.VIPFound = fc.VIPFound
+	stat.DetectMS = stat.StageMS["detect"]
+	stat.PoseMS = stat.StageMS["pose"]
+	stat.DepthMS = stat.StageMS["depth"]
+	return stat, delivered
+}
+
+// deliver appends the alerts of delivered stages to the result, then
+// consults the placement policy.
+func (e *execEnv) deliver(res *StreamResult, fc *FrameCtx, stat FrameStat, delivered map[string]bool) {
+	for _, sa := range fc.alerts {
+		if delivered[sa.stage] {
+			res.Alerts = append(res.Alerts, sa.alert)
+		}
+	}
+	res.Frames = append(res.Frames, stat)
+	e.consultPlacer(stat)
+}
+
+// dropFrame accounts a policy-rejected frame and reports the drop to the
+// placement policy as latency pressure.
+func (e *execEnv) dropFrame(frameIndex int) {
+	e.drops++
+	e.consultPlacer(FrameStat{FrameIndex: frameIndex, Dropped: true, VIPFound: true})
+}
+
+// consultPlacer feeds one stat to the placement policy and applies any
+// re-placements it returns (unknown stage names are ignored).
+func (e *execEnv) consultPlacer(stat FrameStat) {
+	if e.sess.Placer == nil {
+		return
+	}
+	nb := e.sess.Placer.Rebind(stat)
+	if len(nb) == 0 {
+		return
+	}
+	changed := false
+	for name, p := range nb {
+		if _, ok := e.place[name]; ok && e.place[name] != p {
+			e.place[name] = p
+			changed = true
+		}
+	}
+	if changed {
+		e.rebinds++
+	}
+}
+
+// finalize computes the summary statistics of a completed stream.
+func (e *execEnv) finalize(res *StreamResult) {
+	var e2e []float64
+	deadlineHits, found := 0, 0
+	for _, st := range res.Frames {
+		e2e = append(e2e, st.E2EMS)
+		if st.Deadline {
+			deadlineHits++
+		}
+		if st.VIPFound {
+			found++
+		}
+	}
+	if n := len(res.Frames); n > 0 {
+		res.DeadlineOK = float64(deadlineHits) / float64(n)
+		res.DetectionRate = float64(found) / float64(n)
+	}
+	res.E2E = metrics.SummarizeMS(e2e)
+	res.Dropped = e.drops
+	res.StageSkips = e.skips
+	res.Rebinds = e.rebinds
+}
+
+// Run processes the session's feed through its graph: analytics are real
+// (rendered pixels in, alerts out), timing is simulated per the device
+// model. shared optionally provides fleet-shared executors for non-edge
+// placements; pass nil for a standalone session.
+func (s *Session) Run(shared *device.Cluster) (StreamResult, error) {
+	s.defaults()
+	if err := s.Graph.Validate(); err != nil {
+		return StreamResult{}, err
+	}
+	env := s.env(shared)
+	res := StreamResult{Session: s.ID}
+	period := s.periodMS()
+	for i, f := range s.extract() {
+		arrival := s.OffsetMS + float64(i)*period
+		if !env.admit(arrival) {
+			env.dropFrame(f.FrameIndex)
+			continue
+		}
+		fc := newFrameCtx(s.ID, f.FrameIndex, f.Image, f.Truth)
+		stat, delivered := env.runFrame(fc, arrival, func(st Stage, fc *FrameCtx) bool {
+			return st.Analyze(fc)
+		})
+		env.deliver(&res, fc, stat, delivered)
+	}
+	env.finalize(&res)
+	return res, nil
+}
+
+// Fleet runs N concurrent drone sessions against shared workstation
+// executors — the paper's multi-client future work. Frame analytics run
+// in parallel across sessions (they are pure per-frame pixel work);
+// the timing simulation then replays all sessions' frames in global
+// arrival order against the shared executors, single-threaded, so fleet
+// results are deterministic under a fixed seed.
+//
+// The replay interleaves sessions at frame granularity: all of a
+// frame's stage jobs are submitted during its event. Contention on
+// shared root stages (the usual deployment: a shared workstation
+// detector) is therefore faithful FIFO; when a *downstream* stage is
+// placed on a shared device, jobs from frames that arrived earlier are
+// enqueued ahead even if their ready times are later, so cross-session
+// queueing for shared non-root stages is approximate.
+//
+// Because analytics are precomputed for every extracted frame, stateful
+// stages (e.g. a tracker) observe all frames including those the
+// back-pressure policy later drops; dropped frames still deliver no
+// alerts and no stats.
+type Fleet struct {
+	Sessions []*Session
+	// SharedSeed seeds the shared workstation cluster when Shared is nil.
+	SharedSeed uint64
+	// Shared, when non-nil, is the pre-built shared executor pool.
+	Shared *device.Cluster
+}
+
+// fleetEvent is one (session, frame) arrival in the merged timeline.
+type fleetEvent struct {
+	sess    int
+	frame   int
+	arrival float64
+}
+
+// Run executes every session and returns their results in session order.
+func (f *Fleet) Run() ([]StreamResult, error) {
+	if len(f.Sessions) == 0 {
+		return nil, fmt.Errorf("pipeline: fleet with no sessions")
+	}
+	shared := f.Shared
+	if shared == nil {
+		shared = device.NewCluster(f.SharedSeed)
+	}
+	for _, s := range f.Sessions {
+		s.defaults()
+		if err := s.Graph.Validate(); err != nil {
+			return nil, fmt.Errorf("pipeline: session %d: %w", s.ID, err)
+		}
+	}
+
+	// Phase 1 — analytics, parallel across sessions. Pixel work is pure
+	// per frame; stage state stays session-local because each session
+	// owns its graph.
+	frames := make([][]video.ExtractedFrame, len(f.Sessions))
+	fcs := make([][]*FrameCtx, len(f.Sessions))
+	parallel.For(len(f.Sessions), func(i int) {
+		s := f.Sessions[i]
+		fs := s.extract()
+		frames[i] = fs
+		fcs[i] = make([]*FrameCtx, len(fs))
+		for j, fr := range fs {
+			fc := newFrameCtx(s.ID, fr.FrameIndex, fr.Image, fr.Truth)
+			for _, idx := range s.Graph.order {
+				st := s.Graph.nodes[idx].stage
+				fc.cur = st.Name()
+				fc.ran[st.Name()] = st.Analyze(fc)
+			}
+			fcs[i][j] = fc
+		}
+	})
+
+	// Phase 2 — timing, serial in global arrival order (stable on ties
+	// by session index) for determinism and faithful contention.
+	var events []fleetEvent
+	for i, s := range f.Sessions {
+		period := s.periodMS()
+		for j := range frames[i] {
+			events = append(events, fleetEvent{sess: i, frame: j, arrival: s.OffsetMS + float64(j)*period})
+		}
+	}
+	sort.SliceStable(events, func(a, b int) bool {
+		if events[a].arrival != events[b].arrival {
+			return events[a].arrival < events[b].arrival
+		}
+		return events[a].sess < events[b].sess
+	})
+
+	envs := make([]*execEnv, len(f.Sessions))
+	results := make([]StreamResult, len(f.Sessions))
+	for i, s := range f.Sessions {
+		envs[i] = s.env(shared)
+		results[i] = StreamResult{Session: s.ID}
+	}
+	for _, ev := range events {
+		env := envs[ev.sess]
+		if !env.admit(ev.arrival) {
+			env.dropFrame(fcs[ev.sess][ev.frame].FrameIndex)
+			continue
+		}
+		fc := fcs[ev.sess][ev.frame]
+		stat, delivered := env.runFrame(fc, ev.arrival, func(st Stage, fc *FrameCtx) bool {
+			return fc.ran[st.Name()]
+		})
+		env.deliver(&results[ev.sess], fc, stat, delivered)
+	}
+	for i := range results {
+		envs[i].finalize(&results[i])
+	}
+	return results, nil
+}
