@@ -196,6 +196,25 @@ func toOutcomes(outs []adaptive.Outcome) []adaptiveOutcome {
 	return r
 }
 
+// BenchmarkExtBatchServing runs the micro-batched serving study and
+// asserts the PR-2 acceptance shape: batch-8 at least doubles served
+// frames/sec over the per-frame path on the saturated fleet workload.
+func BenchmarkExtBatchServing(b *testing.B) {
+	var rows []bench.BatchRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = bench.RunBatchStudy(benchScale.Seed)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	final := rows[len(rows)-1]
+	if final.MaxBatch != 8 || final.Speedup < 2 {
+		b.Fatalf("batch-8 speedup %.2fx below the 2x acceptance bar", final.Speedup)
+	}
+	reportOnce(b, "ext-batch", func(w io.Writer) { bench.WriteBatchStudy(w, rows) })
+}
+
 // BenchmarkExtEfficiency regenerates the throughput-per-dollar/-watt
 // table derived from Table 3's price and power columns.
 func BenchmarkExtEfficiency(b *testing.B) {
@@ -222,6 +241,31 @@ func BenchmarkNNForwardYOLOv8NanoCPU(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		net.Forward(x)
+	}
+}
+
+// BenchmarkNNForwardBatchYOLOv8NanoCPU measures the batched forward
+// path at batch 4 — compare ns/op divided by 4 against the per-frame
+// benchmark above, and allocs/op against it for the pool's effect.
+func BenchmarkNNForwardBatchYOLOv8NanoCPU(b *testing.B) {
+	net := models.BuildYOLOv8(models.Nano, 1, 1)
+	r := rng.New(2)
+	const batch = 4
+	xs := make([]*tensor.Tensor, batch)
+	for bi := range xs {
+		x := tensor.New(3, 96, 96)
+		for i := range x.Data {
+			x.Data[i] = r.Float32()
+		}
+		xs[bi] = x
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		outs := net.ForwardBatch(xs)
+		for _, os := range outs {
+			tensor.Scratch.Put(os...)
+		}
 	}
 }
 

@@ -2,14 +2,18 @@
 // devices — the interactive counterpart of Figs. 5 and 6, with energy
 // and throughput columns — plus a multi-drone serving mode that runs N
 // concurrent sessions of the hybrid pipeline against one shared device
-// through the stage-graph fleet scheduler.
+// through the stage-graph fleet scheduler. The -batch flag sweeps the
+// batched roofline model (standalone mode) or enables fleet
+// micro-batching (drone mode).
 //
 // Usage:
 //
 //	inferbench                          # all models × all devices
 //	inferbench -device nx -frames 1000
 //	inferbench -model yolov8x
+//	inferbench -batch 8                 # batched-latency sweep, sizes 1..8
 //	inferbench -drones 8 -model yolov8x -device rtx4090 -fps 10
+//	inferbench -drones 16 -batch 8 -window 60   # micro-batched fleet serving
 package main
 
 import (
@@ -31,11 +35,21 @@ func main() {
 		seed       = flag.Uint64("seed", 42, "jitter seed")
 		drones     = flag.Int("drones", 0, "fleet mode: N concurrent drone sessions sharing one device")
 		fps        = flag.Float64("fps", 10, "fleet mode: per-drone analysed frame rate")
+		batch      = flag.Int("batch", 0, "micro-batch size: roofline sweep standalone, BatchPolicy in fleet mode")
+		window     = flag.Float64("window", 50, "fleet mode: micro-batching window in simulated ms")
 	)
 	flag.Parse()
 
 	if *drones > 0 {
-		if err := fleetMode(*drones, *modelFlag, *deviceFlag, *frames, *fps, *seed); err != nil {
+		bp := pipeline.BatchPolicy{MaxBatch: *batch, WindowMS: *window}
+		if err := fleetMode(*drones, *modelFlag, *deviceFlag, *frames, *fps, *seed, bp); err != nil {
+			fmt.Fprintln(os.Stderr, "inferbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *batch > 1 {
+		if err := batchSweep(*modelFlag, *deviceFlag, *batch); err != nil {
 			fmt.Fprintln(os.Stderr, "inferbench:", err)
 			os.Exit(1)
 		}
@@ -73,6 +87,47 @@ func main() {
 	}
 }
 
+// batchSweep prints the batched roofline: per model×device, service
+// time and effective per-frame latency/throughput at batch sizes
+// 1, 2, 4, ... up to maxBatch.
+func batchSweep(modelFlag, deviceFlag string, maxBatch int) error {
+	devs := device.AllIDs
+	if deviceFlag != "all" {
+		d, err := lookupDevice(deviceFlag)
+		if err != nil {
+			return err
+		}
+		devs = []device.ID{d}
+	}
+	mods := models.AllIDs
+	if modelFlag != "all" {
+		m, err := lookupModel(modelFlag)
+		if err != nil {
+			return err
+		}
+		mods = []models.ID{m}
+	}
+	var sizes []int
+	for n := 1; n < maxBatch; n *= 2 {
+		sizes = append(sizes, n)
+	}
+	sizes = append(sizes, maxBatch)
+	fmt.Printf("%-12s %-10s %6s %12s %12s %10s %9s\n",
+		"model", "device", "batch", "service", "ms/frame", "fps", "speedup")
+	for _, m := range mods {
+		for _, d := range devs {
+			base := device.BatchFPS(m, d, 1)
+			for _, n := range sizes {
+				svc := device.PredictBatchMS(m, d, n)
+				fps := device.BatchFPS(m, d, n)
+				fmt.Printf("%-12s %-10s %6d %10.1fms %10.2fms %10.1f %8.2fx\n",
+					m, d, n, svc, svc/float64(n), fps, fps/base)
+			}
+		}
+	}
+	return nil
+}
+
 // lookupDevice resolves a device flag value (no "all" in fleet mode).
 func lookupDevice(name string) (device.ID, error) {
 	for _, d := range device.AllIDs {
@@ -96,8 +151,9 @@ func lookupModel(name string) (models.ID, error) {
 // fleetMode runs N timing-only drone sessions of the hybrid pipeline —
 // the chosen detector on the chosen (shared) device, auxiliary models on
 // per-drone Orin Nanos — and prints each session's latency summary plus
-// the fleet aggregate.
-func fleetMode(drones int, modelFlag, deviceFlag string, frames int, fps float64, seed uint64) error {
+// the fleet aggregate. A batch policy with MaxBatch > 1 micro-batches
+// compatible stage work across the fleet.
+func fleetMode(drones int, modelFlag, deviceFlag string, frames int, fps float64, seed uint64, bp pipeline.BatchPolicy) error {
 	det := models.V8XLarge
 	if modelFlag != "all" {
 		m, err := lookupModel(modelFlag)
@@ -130,7 +186,7 @@ func fleetMode(drones int, modelFlag, deviceFlag string, frames int, fps float64
 			Graph: pipeline.TimingVIPGraph(place),
 		}
 	}
-	results, err := (&pipeline.Fleet{Sessions: sessions, SharedSeed: seed ^ 0x9e3779b9}).Run()
+	results, err := (&pipeline.Fleet{Sessions: sessions, SharedSeed: seed ^ 0x9e3779b9, Batch: bp}).Run()
 	if err != nil {
 		return err
 	}
@@ -140,8 +196,12 @@ func fleetMode(drones int, modelFlag, deviceFlag string, frames int, fps float64
 	if device.Registry(shared).IsEdge() {
 		sharing = "a per-drone"
 	}
-	fmt.Printf("fleet: %d drones @ %.0f FPS, detect=%s on %s %s, aux on per-drone o-nano\n\n",
-		drones, fps, det, sharing, shared)
+	batching := "per-frame"
+	if bp.Enabled() {
+		batching = fmt.Sprintf("micro-batch %d within %.0f ms", bp.MaxBatch, bp.WindowMS)
+	}
+	fmt.Printf("fleet: %d drones @ %.0f FPS, detect=%s on %s %s (%s), aux on per-drone o-nano\n\n",
+		drones, fps, det, sharing, shared, batching)
 	fmt.Printf("%-8s %10s %10s %10s %11s %9s\n", "drone", "median", "p95", "max", "deadline%", "dropped%")
 	var all []float64
 	totalDropped, total := 0, 0

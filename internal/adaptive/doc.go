@@ -1,0 +1,13 @@
+// Package adaptive implements the paper's stated future work:
+// "accuracy-aware adaptive deployment strategies for seamless execution
+// across edge-cloud environments" (§5).
+//
+// A Controller chooses among deployment arms — (model size, device,
+// network path) triples — using a hysteresis policy driven by two
+// streaming signals: the deadline-miss rate (latency pressure → shift to
+// a smaller model or a faster device) and the detection-failure rate
+// (accuracy pressure → shift to a larger model, possibly off-edge). The
+// package also ships a scenario simulator that stresses the controller
+// with cloud outages and dusk transitions, used by the ablation bench to
+// show adaptive beats every static arm.
+package adaptive

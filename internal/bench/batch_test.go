@@ -1,0 +1,46 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestBatchStudySpeedup pins the PR's acceptance criterion: batch-8
+// serving of the saturated fleet workload at least doubles frames/sec
+// over the per-frame path, with throughput monotone in batch size.
+func TestBatchStudySpeedup(t *testing.T) {
+	rows, err := RunBatchStudy(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows %d", len(rows))
+	}
+	if rows[0].Policy != "per-frame" || rows[0].Speedup != 1 {
+		t.Fatalf("baseline row malformed: %+v", rows[0])
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].FPS <= rows[i-1].FPS {
+			t.Fatalf("throughput not monotone: %s %.1f fps after %s %.1f fps",
+				rows[i].Policy, rows[i].FPS, rows[i-1].Policy, rows[i-1].FPS)
+		}
+	}
+	final := rows[len(rows)-1]
+	if final.MaxBatch != 8 {
+		t.Fatalf("final row batch %d", final.MaxBatch)
+	}
+	if final.Speedup < 2 {
+		t.Fatalf("batch-8 speedup %.2fx < 2x acceptance threshold", final.Speedup)
+	}
+	// The saturated per-frame path queues without bound; batch-8 keeps
+	// up with the offered load, so its tail must be orders calmer.
+	if final.E2E.P95MS*5 > rows[0].E2E.P95MS {
+		t.Fatalf("batch-8 p95 %.0fms not far below per-frame p95 %.0fms",
+			final.E2E.P95MS, rows[0].E2E.P95MS)
+	}
+	var sb strings.Builder
+	WriteBatchStudy(&sb, rows)
+	if !strings.Contains(sb.String(), "batch-8") {
+		t.Fatal("rendered study missing batch-8 row")
+	}
+}

@@ -1,8 +1,3 @@
-// Package bench is the experiment harness of Ocularone-Bench: one runner
-// per table and figure of the paper, each regenerating the corresponding
-// rows/series from this repository's substrates. Runners accept a Scale
-// so the same protocol runs CI-sized (seconds) or paper-sized (the full
-// 30,711-image dataset and ~1,000 timing frames).
 package bench
 
 import (

@@ -1,7 +1,3 @@
-// Package core is the top-level API of Ocularone-Bench: a Suite that
-// regenerates every table and figure of the paper at a configurable
-// scale, plus helpers for assembling the full VIP-assistance stack
-// (detector + pose + depth) that the examples and the pipeline use.
 package core
 
 import (
@@ -121,6 +117,17 @@ var experiments = map[string]Experiment{
 		Name: "ext-adaptive", Desc: "Future work: accuracy-aware adaptive edge-cloud deployment",
 		Run: func(s *Suite, w io.Writer) error {
 			bench.WriteAdaptiveStudy(w, bench.RunAdaptiveStudy(s.Scale.Seed))
+			return nil
+		},
+	},
+	"ext-batch": {
+		Name: "ext-batch", Desc: "Extension: micro-batched serving of a saturated fleet on one workstation",
+		Run: func(s *Suite, w io.Writer) error {
+			rows, err := bench.RunBatchStudy(s.Scale.Seed)
+			if err != nil {
+				return err
+			}
+			bench.WriteBatchStudy(w, rows)
 			return nil
 		},
 	},

@@ -1,0 +1,5 @@
+// Package core is the top-level API of Ocularone-Bench: a Suite that
+// regenerates every table and figure of the paper at a configurable
+// scale, plus helpers for assembling the full VIP-assistance stack
+// (detector + pose + depth) that the examples and the pipeline use.
+package core

@@ -1,9 +1,3 @@
-// Package dataset builds the synthetic stand-in for the Ocularone
-// dataset: 30,711 annotated hazard-vest images across the 12 scene
-// categories and the adversarial category of Table 1. Items are stored as
-// lightweight descriptors and rendered on demand, so paper-scale datasets
-// fit in memory; a Scale knob shrinks every category proportionally for
-// CI-scale protocols.
 package dataset
 
 import "ocularone/internal/scene"

@@ -1,0 +1,12 @@
+// Package depth implements the monocular depth-estimation stage standing
+// in for Monodepth2 (§3 of the paper): a self-calibrating ground-plane
+// model with object-aware refinement, evaluated against the renderer's
+// metric depth maps with the standard abs-rel / RMSE metrics.
+//
+// Monodepth2 learns depth from motion parallax; our substitute learns
+// the dominant monocular cue in the same footage — the ground-plane
+// perspective gradient — by regressing inverse depth against image row
+// on calibration frames, then assigns obstacle pixels the depth of their
+// ground-contact row. This exercises the identical pipeline contract
+// (RGB frame in, dense metric depth out) with a genuinely learned model.
+package depth

@@ -1,0 +1,13 @@
+// Package detect implements the retrainable hazard-vest detector that
+// stands in for the paper's retrained YOLOv8/YOLOv11 models.
+//
+// The detector is a genuine trainable model, not an accuracy lookup
+// table: it learns a clustered HSV colour model of the vest from
+// annotated training images and verifies candidate regions with geometry
+// and reflective-stripe evidence. Model capacity tiers (nano / medium /
+// x-large, per family) differ in analysis resolution, the number of
+// lighting clusters they can represent, and which robustness stages they
+// enable — so accuracy differences across tiers, training-set sizes and
+// adversarial conditions *emerge* from the data, reproducing the shape of
+// the paper's Figs. 1, 3 and 4.
+package detect

@@ -1,15 +1,3 @@
-// Package device models the four evaluation platforms of the paper —
-// three NVIDIA Jetson edge accelerators (Table 3) and the RTX 4090
-// workstation — and predicts per-frame inference latency for each
-// benchmark model with a calibrated roofline model.
-//
-// The paper measures wall-clock inference times of PyTorch 2.0 models;
-// we have no GPU hardware, so latency is *simulated*: each device's
-// sustained throughput is derived from its CUDA core count, clock and
-// architecture efficiency, with a fixed per-inference launch overhead
-// and a utilisation factor for memory-bound (decoder-heavy) models. The
-// calibration constants are documented inline and validated against the
-// ranges the paper reports (ARCHITECTURE.md §Latency model).
 package device
 
 import "fmt"
@@ -87,9 +75,14 @@ type Device struct {
 	// Calibration constants for the latency model (see latency.go).
 	// SustainedEff is the fraction of peak FP32 throughput a batch-1
 	// PyTorch eager workload sustains; LaunchMS is the fixed per-frame
-	// dispatch overhead.
+	// dispatch overhead. BatchEffCap is the efficiency ceiling batched
+	// inference approaches as concurrent samples fill the SMs: large
+	// GPUs that idle most of their cores at batch 1 (low SustainedEff)
+	// have the most headroom, small edge GPUs that already saturate
+	// have little.
 	SustainedEff float64
 	LaunchMS     float64
+	BatchEffCap  float64
 }
 
 // Registry returns the specification of a device.
@@ -103,7 +96,7 @@ func Registry(id ID) Device {
 			FormFactor: "110x110x72", WeightG: 872.5, PriceUSD: 2370,
 			ClockGHz: 1.30, MemBWGBs: 204.8,
 			// Large GPU, batch-1 eager execution: most SMs idle.
-			SustainedEff: 0.105, LaunchMS: 12,
+			SustainedEff: 0.105, LaunchMS: 12, BatchEffCap: 0.42,
 		}
 	case XavierNX:
 		return Device{
@@ -114,7 +107,7 @@ func Registry(id ID) Device {
 			ClockGHz: 1.10, MemBWGBs: 59.7,
 			// Small GPU saturates better, but Volta lacks Ampere's
 			// scheduling improvements.
-			SustainedEff: 0.31, LaunchMS: 18,
+			SustainedEff: 0.31, LaunchMS: 18, BatchEffCap: 0.48,
 		}
 	case OrinNano:
 		return Device{
@@ -123,7 +116,7 @@ func Registry(id ID) Device {
 			Jetpack: "5.1.1", CUDAVersion: "11.4", PeakPowerW: 15,
 			FormFactor: "100x79x21", WeightG: 176, PriceUSD: 630,
 			ClockGHz: 0.625, MemBWGBs: 68,
-			SustainedEff: 0.335, LaunchMS: 15,
+			SustainedEff: 0.335, LaunchMS: 15, BatchEffCap: 0.50,
 		}
 	case RTX4090:
 		return Device{
@@ -135,7 +128,7 @@ func Registry(id ID) Device {
 			Jetpack: "-", CUDAVersion: "12.x", PeakPowerW: 450,
 			FormFactor: "workstation", WeightG: 0, PriceUSD: 1599,
 			ClockGHz: 2.52, MemBWGBs: 1008,
-			SustainedEff: 0.195, LaunchMS: 1.5,
+			SustainedEff: 0.195, LaunchMS: 1.5, BatchEffCap: 0.62,
 		}
 	default:
 		panic(fmt.Sprintf("device: unknown id %d", int(id)))

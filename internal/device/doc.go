@@ -1,0 +1,24 @@
+// Package device models the four evaluation platforms of the paper —
+// three NVIDIA Jetson edge accelerators (Table 3) and the RTX 4090
+// workstation — and predicts per-frame inference latency for each
+// benchmark model with a calibrated roofline model.
+//
+// The paper measures wall-clock inference times of PyTorch 2.0 models;
+// we have no GPU hardware, so latency is *simulated*: each device's
+// sustained throughput is derived from its CUDA core count, clock and
+// architecture efficiency, with a fixed per-inference launch overhead
+// and a utilisation factor for memory-bound (decoder-heavy) models. The
+// calibration constants are documented inline and validated against the
+// ranges the paper reports (ARCHITECTURE.md §Latency model).
+//
+// Beyond single frames, the package models batched serving: BatchEff
+// gives the efficiency a batch of n concurrent samples sustains (batch
+// 1 is the eager baseline, marginal frames run at the BatchEffCap
+// ceiling), PredictBatchMS charges one launch and one weight pass per
+// batch, Executor.RunBatch serves a coalesced batch on the simulated
+// stream, and MicroBatcher queues compatible jobs until a batch fills
+// or its window expires. The discrete-event Executor adds calibrated
+// jitter and thermal throttling; Cluster pools executors under a stable
+// per-device seed derivation so shared-workstation contention studies
+// are reproducible.
+package device

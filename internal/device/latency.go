@@ -49,6 +49,54 @@ func PredictMS(m models.ID, dev ID) float64 {
 	return d.LaunchMS + computeMS + weightMS
 }
 
+// BatchEff returns the sustained-efficiency fraction a batch of n
+// concurrent samples achieves on the device:
+//
+//	eff(n) = n·eff1·cap / (cap + (n-1)·eff1)
+//
+// Batch 1 is the calibrated eager baseline; each marginal frame runs at
+// the BatchEffCap ceiling, so efficiency saturates toward cap while
+// total batch service stays monotone in n (a bigger batch can never
+// finish sooner than a smaller one) and per-frame latency strictly
+// improves — the two properties real batched serving exhibits.
+func (d Device) BatchEff(n int) float64 {
+	if n <= 1 {
+		return d.SustainedEff
+	}
+	eff1, cap := d.SustainedEff, d.BatchEffCap
+	return float64(n) * eff1 * cap / (cap + float64(n-1)*eff1)
+}
+
+// PredictBatchMS returns the modelled service time for one batched
+// inference of n frames:
+//
+//	t = launch + n × FLOPs / (peak × batchEff(n) × utilisation) + weightTraffic / BW
+//
+// One launch and one pass over the weights cover the whole batch — the
+// two overheads batch-1 inference pays per frame — while the compute
+// term scales with n at the improved batched efficiency. n <= 1 reduces
+// exactly to PredictMS.
+func PredictBatchMS(m models.ID, dev ID, n int) float64 {
+	if n <= 1 {
+		return PredictMS(m, dev)
+	}
+	d := Registry(dev)
+	stats := models.ComputeStats(m)
+	sustained := d.PeakGFLOPS() * d.BatchEff(n)
+	computeMS := float64(n) * stats.GFLOPs / (sustained * utilization(m, d)) * 1e3
+	weightMS := float64(stats.Params*2) / (d.MemBWGBs * 1e9) * 1e3
+	return d.LaunchMS + computeMS + weightMS
+}
+
+// BatchFPS returns the modelled per-frame throughput when frames are
+// served in batches of n.
+func BatchFPS(m models.ID, dev ID, n int) float64 {
+	if n < 1 {
+		n = 1
+	}
+	return float64(n) * 1e3 / PredictBatchMS(m, dev, n)
+}
+
 // Sample draws n per-frame latency observations around the modelled
 // value: log-normal execution jitter plus an occasional straggler frame
 // (page faults, DVFS transitions), matching the spread of the paper's

@@ -87,20 +87,31 @@ func (e *Executor) updateDuty(idleMS, busyMS float64) {
 // Duty reports the executor's thermal duty-cycle estimate in [0,1].
 func (e *Executor) Duty() float64 { return e.duty }
 
-// serviceMS draws one jittered, thermally adjusted service time.
+// serviceMS draws one jittered, thermally adjusted service time — the
+// batch-of-one case of serviceBatchMS, kept as one implementation so
+// the jitter draw sequence can never diverge between the two paths
+// (the MaxBatch=1 bit-parity guarantee depends on it).
 func (e *Executor) serviceMS(m models.ID) float64 {
-	base := PredictMS(m, e.Device) * e.throttleFactor()
-	v := base * expApprox(e.rng.NormRange(0, 0.06))
-	if e.rng.Bool(0.03) {
-		v *= e.rng.Range(1.3, 1.9)
-	}
-	return v
+	return e.serviceBatchMS(m, 1)
 }
 
 // expApprox is exp(x) for the small |x| the jitter draws produce.
 func expApprox(x float64) float64 {
 	// 4-term Taylor is accurate to ~1e-6 for |x| < 0.3.
 	return 1 + x + x*x/2 + x*x*x/6
+}
+
+// serviceBatchMS draws one jittered, thermally adjusted service time
+// for a batch of n frames of model m around the batched roofline
+// prediction. A batch consumes exactly one jitter tuple regardless of
+// n, keeping replays deterministic.
+func (e *Executor) serviceBatchMS(m models.ID, n int) float64 {
+	base := PredictBatchMS(m, e.Device, n) * e.throttleFactor()
+	v := base * expApprox(e.rng.NormRange(0, 0.06))
+	if e.rng.Bool(0.03) {
+		v *= e.rng.Range(1.3, 1.9)
+	}
+	return v
 }
 
 // BusyUntilMS reports when the executor's stream frees up given the work
@@ -128,6 +139,49 @@ func (e *Executor) Run(jobs []Job) []Completion {
 		e.busyMS = c.FinishMS
 		out = append(out, c)
 	}
+	e.done = append(e.done, out...)
+	return out
+}
+
+// RunBatch serves a batch of same-model jobs as one coalesced inference:
+// the batch starts when the stream is free and every member has arrived,
+// runs for one batched service time, and all members complete together.
+// Each completion's ServiceMS carries an equal 1/n share of the batch
+// service so utilisation accounting still sums to true busy time. A
+// batch of one takes the exact per-job Run path (same jitter draws), so
+// micro-batching with size 1 is bit-identical to unbatched execution.
+func (e *Executor) RunBatch(jobs []Job) []Completion {
+	if len(jobs) == 0 {
+		return nil
+	}
+	if len(jobs) == 1 {
+		return e.Run(jobs)
+	}
+	m := jobs[0].Model
+	start := jobs[0].ArrivalMS
+	for _, j := range jobs {
+		if j.Model != m {
+			panic(fmt.Sprintf("device: RunBatch mixes models %s and %s", m, j.Model))
+		}
+		if j.ArrivalMS > start {
+			start = j.ArrivalMS
+		}
+	}
+	if e.busyMS > start {
+		start = e.busyMS
+	}
+	idle := start - e.busyMS
+	if e.busyMS == 0 {
+		idle = 0
+	}
+	svc := e.serviceBatchMS(m, len(jobs))
+	share := svc / float64(len(jobs))
+	out := make([]Completion, len(jobs))
+	for i, j := range jobs {
+		out[i] = Completion{Job: j, StartMS: start, ServiceMS: share, FinishMS: start + svc}
+	}
+	e.updateDuty(idle, svc)
+	e.busyMS = start + svc
 	e.done = append(e.done, out...)
 	return out
 }

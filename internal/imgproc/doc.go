@@ -1,0 +1,9 @@
+// Package imgproc provides the image type and classical image-processing
+// operations used across the synthetic dataset pipeline: bilinear resize,
+// separable Gaussian blur, brightness/contrast adjustment, cropping,
+// rotation, HSV colour-space conversion and noise injection.
+//
+// Images are 8-bit RGB in row-major order, matching the 720p drone frames
+// the paper's dataset is extracted from. All heavy loops parallelise over
+// rows with internal/parallel.
+package imgproc

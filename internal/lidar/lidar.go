@@ -1,13 +1,3 @@
-// Package lidar simulates the multi-modal sensing extension the paper
-// names as future work ("integrating multi-modal sensing (LiDAR, thermal
-// imaging)"): a single-plane scanning range finder mounted beside the
-// drone camera, and a fusion rule that combines its precise-but-sparse
-// ranges with the dense-but-biased monocular depth estimates.
-//
-// The simulated unit follows small time-of-flight scanners (e.g. the
-// class of sensors a DJI-scale drone can lift): a horizontal fan of
-// beams through the camera's optical centre, per-beam Gaussian range
-// noise, a maximum range, and sunlight dropout.
 package lidar
 
 import (

@@ -1,7 +1,3 @@
-// Package metrics provides the evaluation primitives the benchmark suite
-// reports: binary confusion matrices in the paper's Fig. 1/3/4 style,
-// precision/accuracy, and latency summaries (median and percentiles) for
-// the inference-time studies of Figs. 5-6.
 package metrics
 
 import (

@@ -1,0 +1,8 @@
+// Package models assembles the eight DNN architectures of Table 2 from
+// the nn engine: YOLOv8 and YOLOv11 in Nano/Medium/X-Large, the trt_pose
+// ResNet-18 body-pose estimator, and Monodepth2. Each builder follows the
+// published architecture configuration (depth/width/max-channel scaling
+// for YOLO, encoder-decoder for the ResNet models) so parameter counts
+// and FLOPs reproduce the paper's Table 2 and drive the device latency
+// model.
+package models

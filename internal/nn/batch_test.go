@@ -1,0 +1,103 @@
+package nn_test
+
+import (
+	"testing"
+
+	"ocularone/internal/models"
+	"ocularone/internal/nn"
+	"ocularone/internal/rng"
+	"ocularone/internal/tensor"
+)
+
+// batchParityCase builds one built-in network at a reduced input size
+// (the architectures are input-size agnostic; small inputs keep CI
+// fast while exercising every module kind).
+type batchParityCase struct {
+	name  string
+	build func() *nn.Network
+	h, w  int
+}
+
+func parityCases() []batchParityCase {
+	return []batchParityCase{
+		// v8 nano covers Conv, C2f, Bottleneck, SPPF, Upsample, Concat,
+		// and the v8 Detect head.
+		{"yolov8n", func() *nn.Network { return models.BuildYOLOv8(models.Nano, 2, 11) }, 96, 96},
+		// v11 nano adds C3k2, C2PSA, PSABlock, Attention, depthwise convs,
+		// and the v11 Detect head.
+		{"yolov11n", func() *nn.Network { return models.BuildYOLOv11(models.Nano, 2, 12) }, 96, 96},
+		// trt_pose covers BasicBlock, MaxPool, and the decoder stack.
+		{"trt_pose", func() *nn.Network { return models.BuildTRTPose(13) }, 64, 64},
+		// monodepth2 covers the skip-connection Concat decoder.
+		{"monodepth2", func() *nn.Network { return models.BuildMonodepth2(14) }, 64, 64},
+	}
+}
+
+// TestForwardBatchParity asserts ForwardBatch output is bit-identical
+// to per-sample Forward for every built-in model architecture.
+func TestForwardBatchParity(t *testing.T) {
+	for _, tc := range parityCases() {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			net := tc.build()
+			r := rng.New(99)
+			const batch = 3
+			xs := make([]*tensor.Tensor, batch)
+			for b := range xs {
+				x := tensor.New(3, tc.h, tc.w)
+				for i := range x.Data {
+					x.Data[i] = r.Float32()
+				}
+				xs[b] = x
+			}
+			got := net.ForwardBatch(xs)
+			if len(got) != batch {
+				t.Fatalf("ForwardBatch returned %d samples, want %d", len(got), batch)
+			}
+			for b, x := range xs {
+				want := net.Forward(x)
+				if len(got[b]) != len(want) {
+					t.Fatalf("sample %d: %d outputs, want %d", b, len(got[b]), len(want))
+				}
+				for oi := range want {
+					if !got[b][oi].SameShape(want[oi]) {
+						t.Fatalf("sample %d output %d: shape %v, want %v", b, oi, got[b][oi].Shape, want[oi].Shape)
+					}
+					if !got[b][oi].Equal(want[oi], 0) {
+						t.Fatalf("sample %d output %d: batched forward diverges from per-frame forward", b, oi)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestForwardBatchReusesScratch asserts the steady-state batched path
+// recycles: a second identical batch must allocate far less than the
+// first (the pool serves the conv scratch and activations).
+func TestForwardBatchReusesScratch(t *testing.T) {
+	net := models.BuildYOLOv8(models.Nano, 2, 21)
+	r := rng.New(5)
+	xs := make([]*tensor.Tensor, 4)
+	for b := range xs {
+		x := tensor.New(3, 96, 96)
+		for i := range x.Data {
+			x.Data[i] = r.Float32()
+		}
+		xs[b] = x
+	}
+	run := func() {
+		outs := net.ForwardBatch(xs)
+		for _, os := range outs {
+			tensor.Scratch.Put(os...)
+		}
+	}
+	run() // warm the pool
+	a1 := testing.AllocsPerRun(1, run)
+	// The exact count is platform-noisy (parallel goroutines allocate);
+	// the guard is against regressing to fresh per-conv buffers, which
+	// costs hundreds of slice headers plus megabytes of float data.
+	if a1 > 3000 {
+		t.Fatalf("steady-state batched forward made %.0f allocations; pool not recycling", a1)
+	}
+}

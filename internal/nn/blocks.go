@@ -40,6 +40,20 @@ func (b *Bottleneck) Forward(xs []*tensor.Tensor) *tensor.Tensor {
 	return y
 }
 
+// ForwardBatch implements Module: both convs run batched; the hidden
+// activation is recycled once consumed.
+func (b *Bottleneck) ForwardBatch(xs [][]*tensor.Tensor) []*tensor.Tensor {
+	mid := b.cv1.ForwardBatch(xs)
+	ys := b.cv2.ForwardBatch(batchOf(mid))
+	tensor.Scratch.Put(mid...)
+	if b.shortcut {
+		for i, y := range ys {
+			y.Add(xs[i][0])
+		}
+	}
+	return ys
+}
+
 // Params implements Module.
 func (b *Bottleneck) Params() int64 { return b.cv1.Params() + b.cv2.Params() }
 
@@ -96,6 +110,54 @@ func (b *C2f) Forward(xs []*tensor.Tensor) *tensor.Tensor {
 		parts = append(parts, cur)
 	}
 	return b.cv2.Forward([]*tensor.Tensor{tensor.ConcatChannels(parts...)})
+}
+
+// ForwardBatch implements Module: the split/concat bookkeeping stays
+// per sample (views are free) while every conv and bottleneck runs over
+// the whole batch.
+func (b *C2f) ForwardBatch(xs [][]*tensor.Tensor) []*tensor.Tensor {
+	return cspForwardBatch(b.cv1, b.cv2, b.hidden, len(b.ms), xs, func(i int, cur []*tensor.Tensor) []*tensor.Tensor {
+		return b.ms[i].ForwardBatch(batchOf(cur))
+	})
+}
+
+// cspForwardBatch is the shared batched forward of the C2f/C3k2 family:
+// cv1, per-sample channel split, a chain of n inner modules over the
+// second half, concat of all parts, cv2. stepFn runs inner module i on
+// the current batch. Intermediates are recycled into tensor.Scratch.
+func cspForwardBatch(cv1, cv2 *Conv, hidden, n int, xs [][]*tensor.Tensor,
+	stepFn func(i int, cur []*tensor.Tensor) []*tensor.Tensor) []*tensor.Tensor {
+	ys := cv1.ForwardBatch(xs)
+	nb := len(ys)
+	// parts[b] collects each sample's concat inputs: the two split views
+	// plus one tensor per inner module.
+	parts := make([][]*tensor.Tensor, nb)
+	cur := make([]*tensor.Tensor, nb)
+	for b, y := range ys {
+		h, w := y.Shape[1], y.Shape[2]
+		y1 := tensor.FromSlice(y.Data[:hidden*h*w], hidden, h, w)
+		y2 := tensor.FromSlice(y.Data[hidden*h*w:], hidden, h, w)
+		parts[b] = append(make([]*tensor.Tensor, 0, 2+n), y1, y2)
+		cur[b] = y2
+	}
+	for i := 0; i < n; i++ {
+		cur = stepFn(i, cur)
+		for b, t := range cur {
+			parts[b] = append(parts[b], t)
+		}
+	}
+	cats := make([]*tensor.Tensor, nb)
+	for b := range cats {
+		cats[b] = tensor.ConcatChannels(parts[b]...)
+	}
+	// ys covers the y1/y2 views; parts[b][2:] are the chain outputs.
+	tensor.Scratch.Put(ys...)
+	for b := range parts {
+		tensor.Scratch.Put(parts[b][2:]...)
+	}
+	outs := cv2.ForwardBatch(batchOf(cats))
+	tensor.Scratch.Put(cats...)
+	return outs
 }
 
 // Params implements Module.
@@ -157,6 +219,26 @@ func (b *C3) Forward(xs []*tensor.Tensor) *tensor.Tensor {
 	}
 	y2 := b.cv2.Forward(xs)
 	return b.cv3.Forward([]*tensor.Tensor{tensor.ConcatChannels(y1, y2)})
+}
+
+// ForwardBatch implements Module.
+func (b *C3) ForwardBatch(xs [][]*tensor.Tensor) []*tensor.Tensor {
+	y1 := b.cv1.ForwardBatch(xs)
+	for _, m := range b.ms {
+		next := m.ForwardBatch(batchOf(y1))
+		tensor.Scratch.Put(y1...)
+		y1 = next
+	}
+	y2 := b.cv2.ForwardBatch(xs)
+	cats := make([]*tensor.Tensor, len(xs))
+	for i := range cats {
+		cats[i] = tensor.ConcatChannels(y1[i], y2[i])
+	}
+	tensor.Scratch.Put(y1...)
+	tensor.Scratch.Put(y2...)
+	outs := b.cv3.ForwardBatch(batchOf(cats))
+	tensor.Scratch.Put(cats...)
+	return outs
 }
 
 // Params implements Module.
@@ -238,6 +320,13 @@ func (b *C3k2) Forward(xs []*tensor.Tensor) *tensor.Tensor {
 	return b.cv2.Forward([]*tensor.Tensor{tensor.ConcatChannels(parts...)})
 }
 
+// ForwardBatch implements Module.
+func (b *C3k2) ForwardBatch(xs [][]*tensor.Tensor) []*tensor.Tensor {
+	return cspForwardBatch(b.cv1, b.cv2, b.hidden, len(b.ms), xs, func(i int, cur []*tensor.Tensor) []*tensor.Tensor {
+		return b.ms[i].ForwardBatch(batchOf(cur))
+	})
+}
+
 // Params implements Module.
 func (b *C3k2) Params() int64 {
 	n := b.cv1.Params() + b.cv2.Params()
@@ -294,6 +383,24 @@ func (b *SPPF) Forward(xs []*tensor.Tensor) *tensor.Tensor {
 	return b.cv2.Forward([]*tensor.Tensor{tensor.ConcatChannels(x, p1, p2, p3)})
 }
 
+// ForwardBatch implements Module: both convs batch; the pooling chain
+// stays per sample (max pooling has no cross-sample fusion to exploit).
+func (b *SPPF) ForwardBatch(xs [][]*tensor.Tensor) []*tensor.Tensor {
+	x := b.cv1.ForwardBatch(xs)
+	cats := make([]*tensor.Tensor, len(x))
+	for i, xi := range x {
+		p1 := tensor.MaxPool2D(xi, b.k, 1, b.k/2)
+		p2 := tensor.MaxPool2D(p1, b.k, 1, b.k/2)
+		p3 := tensor.MaxPool2D(p2, b.k, 1, b.k/2)
+		cats[i] = tensor.ConcatChannels(xi, p1, p2, p3)
+		tensor.Scratch.Put(p1, p2, p3)
+	}
+	tensor.Scratch.Put(x...)
+	outs := b.cv2.ForwardBatch(batchOf(cats))
+	tensor.Scratch.Put(cats...)
+	return outs
+}
+
 // Params implements Module.
 func (b *SPPF) Params() int64 { return b.cv1.Params() + b.cv2.Params() }
 
@@ -317,6 +424,11 @@ func (Upsample) Forward(xs []*tensor.Tensor) *tensor.Tensor {
 	return tensor.UpsampleNearest2x(xs[0])
 }
 
+// ForwardBatch implements Module (per-sample: memory-bound, no fusion).
+func (u Upsample) ForwardBatch(xs [][]*tensor.Tensor) []*tensor.Tensor {
+	return forwardEach(u, xs)
+}
+
 // Params implements Module.
 func (Upsample) Params() int64 { return 0 }
 
@@ -336,6 +448,11 @@ func (Concat) Name() string { return "concat" }
 // Forward implements Module.
 func (Concat) Forward(xs []*tensor.Tensor) *tensor.Tensor {
 	return tensor.ConcatChannels(xs...)
+}
+
+// ForwardBatch implements Module (per-sample: a pure copy).
+func (c Concat) ForwardBatch(xs [][]*tensor.Tensor) []*tensor.Tensor {
+	return forwardEach(c, xs)
 }
 
 // Params implements Module.

@@ -116,6 +116,66 @@ func (d *Detect) Forward(xs []*tensor.Tensor) *tensor.Tensor {
 	return out
 }
 
+// forwardLevelBatch runs one pyramid level's box and cls branches over
+// the whole batch, returning each sample's [4*RegMax+nc, H, W] map.
+func (d *Detect) forwardLevelBatch(li int, xs []*tensor.Tensor) []*tensor.Tensor {
+	chain := func(convs []*Conv) []*tensor.Tensor {
+		cur, owned := xs, false
+		for _, c := range convs {
+			next := c.ForwardBatch(batchOf(cur))
+			if owned {
+				tensor.Scratch.Put(cur...)
+			}
+			cur, owned = next, true
+		}
+		return cur
+	}
+	boxOut := chain(d.box[li])
+	clsOut := chain(d.cls[li])
+	levels := make([]*tensor.Tensor, len(xs))
+	for b := range levels {
+		levels[b] = tensor.ConcatChannels(boxOut[b], clsOut[b])
+	}
+	tensor.Scratch.Put(boxOut...)
+	tensor.Scratch.Put(clsOut...)
+	return levels
+}
+
+// ForwardBatch implements Module: every head conv sees the whole batch;
+// the per-sample flatten/concat assembly matches Forward bit-for-bit.
+func (d *Detect) ForwardBatch(xs [][]*tensor.Tensor) []*tensor.Tensor {
+	nb := len(xs)
+	rows := 4*RegMax + d.nc
+	total := 0
+	for li := range d.box {
+		total += xs[0][li].Shape[1] * xs[0][li].Shape[2]
+	}
+	outs := make([]*tensor.Tensor, nb)
+	for b := range outs {
+		if len(xs[b]) != len(d.box) {
+			panic(fmt.Sprintf("nn: detect head got %d inputs, want %d", len(xs[b]), len(d.box)))
+		}
+		outs[b] = tensor.Scratch.Get(rows, total)
+	}
+	off := 0
+	for li := range d.box {
+		ins := make([]*tensor.Tensor, nb)
+		for b := range xs {
+			ins[b] = xs[b][li]
+		}
+		levels := d.forwardLevelBatch(li, ins)
+		n := ins[0].Shape[1] * ins[0].Shape[2]
+		for b, lv := range levels {
+			for r := 0; r < rows; r++ {
+				copy(outs[b].Data[r*total+off:r*total+off+n], lv.Data[r*n:(r+1)*n])
+			}
+		}
+		tensor.Scratch.Put(levels...)
+		off += n
+	}
+	return outs
+}
+
 // Params implements Module.
 func (d *Detect) Params() int64 {
 	var n int64

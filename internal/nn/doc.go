@@ -1,0 +1,21 @@
+// Package nn is a pure-Go neural-network inference engine: the layers and
+// composite blocks of the YOLOv8/YOLOv11 families (Conv-BN-SiLU, C2f,
+// C3k2, SPPF, C2PSA, detect head with DFL), plus ResNet-18 blocks for the
+// trt_pose and Monodepth2 substrates.
+//
+// The engine serves three roles in the reproduction:
+//   - Parameter and model-size accounting for Table 2 of the paper.
+//   - FLOP accounting that feeds the device latency model (Figs. 5-6).
+//   - Real forward passes, used by the repository's testing.B benchmarks
+//     to measure genuine CPU inference cost.
+//
+// Every Module implements both Forward (one frame) and ForwardBatch (a
+// batch of frames); Network.ForwardBatch threads a whole batch through
+// the graph so each convolution runs as a single batched im2col+matmul
+// (tensor.Conv2DBatch) and intermediate activations recycle through
+// tensor.Scratch. Batched results are bit-identical to per-frame ones —
+// batching is a throughput lever, never an accuracy trade.
+//
+// Weights are deterministically initialised (He-style) from a seed; no
+// training happens in this package.
+package nn

@@ -1,16 +1,3 @@
-// Package nn is a pure-Go neural-network inference engine: the layers and
-// composite blocks of the YOLOv8/YOLOv11 families (Conv-BN-SiLU, C2f,
-// C3k2, SPPF, C2PSA, detect head with DFL), plus ResNet-18 blocks for the
-// trt_pose and Monodepth2 substrates.
-//
-// The engine serves three roles in the reproduction:
-//   - Parameter and model-size accounting for Table 2 of the paper.
-//   - FLOP accounting that feeds the device latency model (Figs. 5-6).
-//   - Real forward passes, used by the repository's testing.B benchmarks
-//     to measure genuine CPU inference cost.
-//
-// Weights are deterministically initialised (He-style) from a seed; no
-// training happens in this package.
 package nn
 
 import (
@@ -35,12 +22,51 @@ type Module interface {
 	Name() string
 	// Forward runs the module on its inputs (most modules take one).
 	Forward(xs []*tensor.Tensor) *tensor.Tensor
+	// ForwardBatch runs the module on a batch of frames: xs[b] is sample
+	// b's input list (the argument Forward would take), and the result
+	// holds one output per sample. Implementations must return outputs
+	// bit-identical to calling Forward per sample; convolution-bearing
+	// modules fuse the batch into one im2col + matmul so the weight
+	// streaming is amortised. Inputs are owned by the caller; outputs are
+	// fresh tensors (often tensor.Scratch-backed — callers may Put them
+	// back once consumed).
+	ForwardBatch(xs [][]*tensor.Tensor) []*tensor.Tensor
 	// Params returns the trainable parameter count (conv weights, biases,
 	// BN affine terms), matching the convention Ultralytics reports.
 	Params() int64
 	// Cost returns multiply-accumulate FLOPs (2 ops per MAC) and the
 	// output shape for the given input shapes.
 	Cost(in []Shape) (flops int64, out Shape)
+}
+
+// forwardEach is the fallback batch path: one Forward call per sample.
+// Modules whose kernels gain nothing from cross-sample fusion (pooling,
+// upsampling, concatenation) use it directly.
+func forwardEach(m Module, xs [][]*tensor.Tensor) []*tensor.Tensor {
+	out := make([]*tensor.Tensor, len(xs))
+	for b, in := range xs {
+		out[b] = m.Forward(in)
+	}
+	return out
+}
+
+// firsts extracts each sample's sole input from a batch argument.
+func firsts(xs [][]*tensor.Tensor) []*tensor.Tensor {
+	out := make([]*tensor.Tensor, len(xs))
+	for b, in := range xs {
+		out[b] = in[0]
+	}
+	return out
+}
+
+// batchOf wraps per-sample tensors as single-input batch arguments —
+// the glue between chained ForwardBatch calls.
+func batchOf(ts []*tensor.Tensor) [][]*tensor.Tensor {
+	out := make([][]*tensor.Tensor, len(ts))
+	for b, t := range ts {
+		out[b] = []*tensor.Tensor{t}
+	}
+	return out
 }
 
 // Node wires a module into a Network graph. From lists the indices of the
@@ -93,6 +119,80 @@ func (n *Network) Forward(x *tensor.Tensor) []*tensor.Tensor {
 	outs := make([]*tensor.Tensor, len(n.Outputs))
 	for i, oi := range n.Outputs {
 		outs[i] = acts[oi]
+	}
+	return outs
+}
+
+// ForwardBatch evaluates the graph on a batch of inputs in one pass,
+// returning each sample's output activations (result[b] matches what
+// Forward(xs[b]) returns). Every node runs its ForwardBatch, so all
+// convolutions see the whole batch at once; intermediate activations
+// are recycled into tensor.Scratch as soon as their last consumer has
+// run, which keeps steady-state batched inference nearly allocation
+// free. Results are bit-identical to per-sample Forward.
+func (n *Network) ForwardBatch(xs []*tensor.Tensor) [][]*tensor.Tensor {
+	nb := len(xs)
+	if nb == 0 {
+		return nil
+	}
+	// lastUse[i] is the highest node index consuming node i's output.
+	lastUse := make([]int, len(n.Nodes))
+	for i := range lastUse {
+		lastUse[i] = -1
+	}
+	isOut := make([]bool, len(n.Nodes))
+	if len(n.Outputs) == 0 {
+		isOut[len(n.Nodes)-1] = true
+	}
+	for _, oi := range n.Outputs {
+		isOut[oi] = true
+	}
+	for i, node := range n.Nodes {
+		for _, f := range node.From {
+			if fi := n.resolve(i, f); fi >= 0 {
+				lastUse[fi] = i
+			}
+		}
+	}
+	acts := make([][]*tensor.Tensor, len(n.Nodes))
+	for i, node := range n.Nodes {
+		ins := make([][]*tensor.Tensor, nb)
+		for b := 0; b < nb; b++ {
+			ins[b] = make([]*tensor.Tensor, len(node.From))
+		}
+		for j, f := range node.From {
+			fi := n.resolve(i, f)
+			if fi == -1 {
+				for b := 0; b < nb; b++ {
+					ins[b][j] = xs[b]
+				}
+			} else if fi < -1 || fi >= i {
+				panic(fmt.Sprintf("nn: node %d references invalid node %d", i, fi))
+			} else {
+				for b := 0; b < nb; b++ {
+					ins[b][j] = acts[fi][b]
+				}
+			}
+		}
+		acts[i] = node.Module.ForwardBatch(ins)
+		// Recycle activations whose last consumer just ran.
+		for fi := 0; fi < i; fi++ {
+			if lastUse[fi] == i && !isOut[fi] && acts[fi] != nil {
+				tensor.Scratch.Put(acts[fi]...)
+				acts[fi] = nil
+			}
+		}
+	}
+	outIdx := n.Outputs
+	if len(outIdx) == 0 {
+		outIdx = []int{len(n.Nodes) - 1}
+	}
+	outs := make([][]*tensor.Tensor, nb)
+	for b := 0; b < nb; b++ {
+		outs[b] = make([]*tensor.Tensor, len(outIdx))
+		for i, oi := range outIdx {
+			outs[b][i] = acts[oi][b]
+		}
 	}
 	return outs
 }

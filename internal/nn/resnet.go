@@ -45,6 +45,28 @@ func (b *BasicBlock) Forward(xs []*tensor.Tensor) *tensor.Tensor {
 	return y
 }
 
+// ForwardBatch implements Module.
+func (b *BasicBlock) ForwardBatch(xs [][]*tensor.Tensor) []*tensor.Tensor {
+	mid := b.cv1.ForwardBatch(xs)
+	ys := b.cv2.ForwardBatch(batchOf(mid))
+	tensor.Scratch.Put(mid...)
+	if b.down != nil {
+		dn := b.down.ForwardBatch(xs)
+		for i, y := range ys {
+			y.Add(dn[i])
+		}
+		tensor.Scratch.Put(dn...)
+	} else {
+		for i, y := range ys {
+			y.Add(xs[i][0])
+		}
+	}
+	for _, y := range ys {
+		y.ReLU()
+	}
+	return ys
+}
+
 // Params implements Module.
 func (b *BasicBlock) Params() int64 {
 	n := b.cv1.Params() + b.cv2.Params()
@@ -77,6 +99,11 @@ func (m MaxPool) Name() string { return fmt.Sprintf("maxpool%d", m.K) }
 // Forward implements Module.
 func (m MaxPool) Forward(xs []*tensor.Tensor) *tensor.Tensor {
 	return tensor.MaxPool2D(xs[0], m.K, m.Stride, m.Pad)
+}
+
+// ForwardBatch implements Module (per-sample: no cross-sample fusion).
+func (m MaxPool) ForwardBatch(xs [][]*tensor.Tensor) []*tensor.Tensor {
+	return forwardEach(m, xs)
 }
 
 // Params implements Module.

@@ -1,0 +1,27 @@
+// Package pipeline composes drone video analytics into composable stage
+// graphs — vest detection, body-pose analysis with fall classification,
+// depth estimation, and any user-defined stage — with each stage placed
+// on a (simulated) edge or workstation device.
+//
+// This is the application the paper's benchmark numbers serve: §4.2.4
+// motivates hosting large accurate models on the workstation and small
+// ones on the edge. The package has four layers:
+//
+//   - Stage/Graph (graph.go): a validated DAG of analytics stages with
+//     per-stage placements and pluggable back-pressure policies.
+//   - Session/Fleet (session.go): one drone feed per session; a fleet
+//     runs N sessions concurrently against shared workstation executors,
+//     modeling the multi-client contention of the paper's future work,
+//     with a PlacementPolicy hook for live mid-stream re-placement.
+//   - BatchPolicy (batch.go): micro-batched scheduling — frames arriving
+//     within a window coalesce, and per-stage jobs sharing an executor
+//     and model are charged one batched inference, so fleet sessions
+//     sharing a workstation coalesce naturally. MaxBatch <= 1 replays
+//     the per-frame path bit-for-bit.
+//   - The legacy API (pipeline.go): Run and the placement helpers are
+//     thin wrappers assembling the classic three-stage graph.
+//
+// Analytics are real (rendered pixels in, alerts out); per-frame timing
+// is simulated with the device latency model (plus network round trips
+// for off-edge stages). See ARCHITECTURE.md for the package map.
+package pipeline

@@ -1,0 +1,88 @@
+package pipeline
+
+import (
+	"math"
+	"testing"
+
+	"ocularone/internal/device"
+	"ocularone/internal/models"
+)
+
+// The golden values below were captured from the pre-batching scheduler
+// (PR 1's execEnv.runFrame loop) and verified byte-identical against
+// the unified groupRunner before the legacy path was deleted. They pin
+// the "batching off replays legacy semantics bit-for-bit" guarantee
+// against regressions that would shift EVERY configuration at once —
+// something comparing batched-off against MaxBatch=1 (both the same
+// code path now) cannot catch.
+
+type goldenFleetRow struct {
+	session, frames, dropped, depthSkips int
+	medianMS, p95MS, maxMS               float64
+}
+
+func checkGolden(t *testing.T, rs []StreamResult, want []goldenFleetRow) {
+	t.Helper()
+	if len(rs) != len(want) {
+		t.Fatalf("%d sessions, want %d", len(rs), len(want))
+	}
+	const tol = 1e-6 // float tolerance: ulp-safe across platforms, far below any scheduling shift
+	for i, w := range want {
+		r := rs[i]
+		if r.Session != w.session || len(r.Frames) != w.frames || r.Dropped != w.dropped ||
+			r.StageSkips["depth"] != w.depthSkips {
+			t.Fatalf("session %d accounting {%d %d %d %d}, want {%d %d %d %d}",
+				i, r.Session, len(r.Frames), r.Dropped, r.StageSkips["depth"],
+				w.session, w.frames, w.dropped, w.depthSkips)
+		}
+		for _, c := range []struct {
+			name      string
+			got, want float64
+		}{
+			{"median", r.E2E.MedianMS, w.medianMS},
+			{"p95", r.E2E.P95MS, w.p95MS},
+			{"max", r.E2E.MaxMS, w.maxMS},
+		} {
+			if math.Abs(c.got-c.want) > tol {
+				t.Fatalf("session %d %s %.6fms, want %.6fms", i, c.name, c.got, c.want)
+			}
+		}
+	}
+}
+
+// TestFleetGoldenDropPolicy pins the drop-when-busy fleet: FIFO
+// admission starves the later-offset drones entirely.
+func TestFleetGoldenDropPolicy(t *testing.T) {
+	rs, err := testFleet(3, 77).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, rs, []goldenFleetRow{
+		{0, 40, 0, 17, 200.757999, 265.649686, 269.669328},
+		{1, 0, 40, 0, 0, 0, 0},
+		{2, 0, 40, 0, 0, 0, 0},
+	})
+}
+
+// TestFleetGoldenQueueBudget pins the bounded-queue fleet: every drone
+// processes all frames at higher latency, shedding only stale depth
+// work.
+func TestFleetGoldenQueueBudget(t *testing.T) {
+	sessions := make([]*Session, 3)
+	for i := range sessions {
+		sessions[i] = &Session{
+			ID: i, Frames: 40, FrameFPS: 10, EdgeRTTms: 25,
+			Policy: QueuePolicy{BudgetMS: 250}, Seed: 101 + uint64(i)*17, OffsetMS: float64(i) * 3,
+			Graph: TimingVIPGraph(HybridPlacement(device.OrinNano, models.V8XLarge)),
+		}
+	}
+	rs, err := (&Fleet{Sessions: sessions, SharedSeed: 77}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, rs, []goldenFleetRow{
+		{0, 40, 0, 17, 317.338559, 394.885937, 404.308255},
+		{1, 40, 0, 16, 356.498579, 412.044046, 437.685485},
+		{2, 40, 0, 17, 367.889743, 428.384316, 430.971577},
+	})
+}

@@ -1,24 +1,3 @@
-// Package pipeline composes drone video analytics into composable stage
-// graphs — vest detection, body-pose analysis with fall classification,
-// depth estimation, and any user-defined stage — with each stage placed
-// on a (simulated) edge or workstation device.
-//
-// This is the application the paper's benchmark numbers serve: §4.2.4
-// motivates hosting large accurate models on the workstation and small
-// ones on the edge. The package has three layers:
-//
-//   - Stage/Graph (graph.go): a validated DAG of analytics stages with
-//     per-stage placements and pluggable back-pressure policies.
-//   - Session/Fleet (session.go): one drone feed per session; a fleet
-//     runs N sessions concurrently against shared workstation executors,
-//     modeling the multi-client contention of the paper's future work,
-//     with a PlacementPolicy hook for live mid-stream re-placement.
-//   - The legacy API (this file): Run and the placement helpers are
-//     thin wrappers assembling the classic three-stage graph.
-//
-// Analytics are real (rendered pixels in, alerts out); per-frame timing
-// is simulated with the device latency model (plus network round trips
-// for off-edge stages). See ARCHITECTURE.md for the package map.
 package pipeline
 
 import (

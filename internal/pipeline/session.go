@@ -53,6 +53,10 @@ type Session struct {
 	OffsetMS float64
 	// Seed drives the session's local executor jitter.
 	Seed uint64
+	// Batch micro-batches the session's stage work when enabled
+	// (standalone runs only; fleets batch across sessions via
+	// Fleet.Batch).
+	Batch BatchPolicy
 
 	local *device.Cluster
 }
@@ -188,59 +192,6 @@ func (e *execEnv) admit(arrival float64) bool {
 	return true
 }
 
-// runFrame schedules one admitted frame's stages onto executors in
-// topological order. analyze performs-or-recalls a stage's analytics
-// (inline for single sessions, precomputed for fleets) and reports
-// whether the stage ran. It returns the frame's stat and the set of
-// stages whose results were delivered.
-func (e *execEnv) runFrame(fc *FrameCtx, arrival float64, analyze func(Stage, *FrameCtx) bool) (FrameStat, map[string]bool) {
-	g := e.sess.Graph
-	period := e.sess.periodMS()
-	stat := FrameStat{FrameIndex: fc.FrameIndex, StageMS: map[string]float64{}}
-	done := map[string]float64{}
-	delivered := map[string]bool{}
-	for _, idx := range g.order {
-		n := g.nodes[idx]
-		name := n.stage.Name()
-		ready := arrival
-		for _, d := range n.deps {
-			if t, ok := done[d]; ok && t > ready {
-				ready = t
-			}
-		}
-		p := e.place[name]
-		ex := e.exFor(p.Device)
-		if len(n.deps) > 0 && !e.sess.Policy.RunStage(ready, ex.BusyUntilMS(), period) {
-			e.skips[name]++
-			continue
-		}
-		fc.cur = name
-		ran := analyze(n.stage, fc)
-		fc.ran[name] = ran
-		if !ran {
-			continue
-		}
-		c := ex.Run([]device.Job{{Model: p.Model, ArrivalMS: ready}})[0]
-		lat := c.LatencyMS() + e.rtt(p)
-		done[name] = ready + lat
-		stat.StageMS[name] = lat
-		delivered[name] = true
-	}
-	var e2e float64
-	for _, t := range done {
-		if t-arrival > e2e {
-			e2e = t - arrival
-		}
-	}
-	stat.E2EMS = e2e
-	stat.Deadline = e2e <= period
-	stat.VIPFound = fc.VIPFound
-	stat.DetectMS = stat.StageMS["detect"]
-	stat.PoseMS = stat.StageMS["pose"]
-	stat.DepthMS = stat.StageMS["depth"]
-	return stat, delivered
-}
-
 // deliver appends the alerts of delivered stages to the result, then
 // consults the placement policy.
 func (e *execEnv) deliver(res *StreamResult, fc *FrameCtx, stat FrameStat, delivered map[string]bool) {
@@ -308,7 +259,10 @@ func (e *execEnv) finalize(res *StreamResult) {
 // Run processes the session's feed through its graph: analytics are real
 // (rendered pixels in, alerts out), timing is simulated per the device
 // model. shared optionally provides fleet-shared executors for non-edge
-// placements; pass nil for a standalone session.
+// placements; pass nil for a standalone session. With s.Batch enabled,
+// frames arriving within the batching window coalesce into micro-batched
+// stage inferences (see BatchPolicy); disabled, every frame takes the
+// per-frame path.
 func (s *Session) Run(shared *device.Cluster) (StreamResult, error) {
 	s.defaults()
 	if err := s.Graph.Validate(); err != nil {
@@ -317,18 +271,19 @@ func (s *Session) Run(shared *device.Cluster) (StreamResult, error) {
 	env := s.env(shared)
 	res := StreamResult{Session: s.ID}
 	period := s.periodMS()
+	runner := newGroupRunner(s.Batch)
+	analyze := func(st Stage, fc *FrameCtx) bool { return st.Analyze(fc) }
 	for i, f := range s.extract() {
 		arrival := s.OffsetMS + float64(i)*period
+		runner.closeWindow(arrival)
 		if !env.admit(arrival) {
 			env.dropFrame(f.FrameIndex)
 			continue
 		}
 		fc := newFrameCtx(s.ID, f.FrameIndex, f.Image, f.Truth)
-		stat, delivered := env.runFrame(fc, arrival, func(st Stage, fc *FrameCtx) bool {
-			return st.Analyze(fc)
-		})
-		env.deliver(&res, fc, stat, delivered)
+		runner.add(groupFrame{env: env, fc: fc, arrival: arrival, res: &res, analyze: analyze})
 	}
+	runner.flush()
 	env.finalize(&res)
 	return res, nil
 }
@@ -358,6 +313,11 @@ type Fleet struct {
 	SharedSeed uint64
 	// Shared, when non-nil, is the pre-built shared executor pool.
 	Shared *device.Cluster
+	// Batch micro-batches stage work across sessions: frames from any
+	// session arriving within the window coalesce, so fleet detect jobs
+	// sharing the workstation become batched inferences. Disabled (the
+	// zero value), the replay is bit-identical to per-frame execution.
+	Batch BatchPolicy
 }
 
 // fleetEvent is one (session, frame) arrival in the merged timeline.
@@ -426,18 +386,21 @@ func (f *Fleet) Run() ([]StreamResult, error) {
 		envs[i] = s.env(shared)
 		results[i] = StreamResult{Session: s.ID}
 	}
+	runner := newGroupRunner(f.Batch)
+	recall := func(st Stage, fc *FrameCtx) bool { return fc.ran[st.Name()] }
 	for _, ev := range events {
 		env := envs[ev.sess]
+		runner.closeWindow(ev.arrival)
 		if !env.admit(ev.arrival) {
 			env.dropFrame(fcs[ev.sess][ev.frame].FrameIndex)
 			continue
 		}
-		fc := fcs[ev.sess][ev.frame]
-		stat, delivered := env.runFrame(fc, ev.arrival, func(st Stage, fc *FrameCtx) bool {
-			return fc.ran[st.Name()]
+		runner.add(groupFrame{
+			env: env, fc: fcs[ev.sess][ev.frame], arrival: ev.arrival,
+			res: &results[ev.sess], analyze: recall,
 		})
-		env.deliver(&results[ev.sess], fc, stat, delivered)
 	}
+	runner.flush()
 	for i := range results {
 		envs[i].finalize(&results[i])
 	}

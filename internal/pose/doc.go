@@ -1,0 +1,13 @@
+// Package pose implements the body-pose analysis stage of the Ocularone
+// stack: a silhouette-based keypoint estimator standing in for trt_pose,
+// and an SVM fall classifier over pose features (§3 of the paper: "an
+// out-of-the-box body pose estimation model … integrated with an SVM
+// classifier to detect fall scenarios").
+//
+// The estimator segments the person inside a tracking box by colour
+// distance from the border background, computes image moments, and
+// derives a coarse skeleton. Features for the fall SVM are geometric:
+// silhouette aspect ratio, principal-axis orientation, and the head
+// height relative to body size — exactly the quantities that flip when a
+// person transitions from upright to fallen.
+package pose

@@ -1,0 +1,15 @@
+// Package rng implements a small, deterministic, splittable pseudo-random
+// number generator used by every synthetic-data component in the
+// repository.
+//
+// Reproducibility is a core requirement of Ocularone-Bench: the paper's
+// dataset is fixed, so our synthetic stand-in must be byte-stable across
+// runs and machines. math/rand's global state and Go-version-dependent
+// stream make it unsuitable; this package pins the algorithm
+// (SplitMix64 + xoshiro-style mixing) so a seed fully determines every
+// scene, video, and adversarial perturbation.
+//
+// The generator is splittable: Split derives an independent child stream
+// from a label, so parallel dataset generation does not serialise on a
+// shared source and insertion order of work does not change the data.
+package rng

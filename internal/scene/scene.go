@@ -1,14 +1,3 @@
-// Package scene procedurally renders the outdoor campus scenes that stand
-// in for the paper's drone footage. Each rendered frame carries full
-// ground truth — hazard-vest and person bounding boxes, body keypoints,
-// and a metric depth map — which the dataset, pose, and depth packages
-// consume.
-//
-// The scene model follows Table 1 of the paper: a proxy VIP wearing a
-// neon hazard vest walks on footpaths, paths, or road sides, optionally
-// surrounded by pedestrians, bicycles, and parked cars, under varying
-// lighting. A pinhole camera at drone-handheld height projects the world
-// onto a 4:3 or 16:9 frame.
 package scene
 
 import (

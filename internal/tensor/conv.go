@@ -66,7 +66,7 @@ func Conv2D(x, w, bias *Tensor, spec ConvSpec) *Tensor {
 
 	icg := spec.InC / groups  // in channels per group
 	ocg := spec.OutC / groups // out channels per group
-	cols := New(icg*spec.KH*spec.KW, oh*ow)
+	cols := Scratch.Get(icg*spec.KH*spec.KW, oh*ow)
 	for g := 0; g < groups; g++ {
 		im2col(x, cols, spec, g*icg, icg, oh, ow)
 		// Weight slice for this group: [ocg, icg*KH*KW].
@@ -76,35 +76,113 @@ func Conv2D(x, w, bias *Tensor, spec ConvSpec) *Tensor {
 		dst := FromSlice(out.Data[g*ocg*oh*ow:(g+1)*ocg*oh*ow], ocg, oh*ow)
 		MatMulInto(dst, wslice, cols)
 	}
-	if bias != nil {
-		if bias.Len() != spec.OutC {
-			panic(fmt.Sprintf("tensor: Conv2D bias len %d, want %d", bias.Len(), spec.OutC))
+	Scratch.Put(cols)
+	addBias(out.Data, bias, spec.OutC, oh*ow)
+	return out
+}
+
+// Conv2DBatch applies one convolution to a batch of same-shape CHW
+// inputs, lowering the whole batch to a single im2col + blocked matmul
+// per group: the cols matrix gains a column block per sample, so the
+// matmul amortises the weight streaming that Conv2D repeats per frame.
+// Outputs (one [outC, oh, ow] tensor per sample) and all scratch come
+// from the Scratch pool; callers may Put outputs back once consumed.
+// Per-column accumulation order matches Conv2D exactly, so results are
+// bit-identical to calling Conv2D per sample.
+func Conv2DBatch(xs []*Tensor, w, bias *Tensor, spec ConvSpec) []*Tensor {
+	if len(xs) == 0 {
+		panic("tensor: Conv2DBatch with empty batch")
+	}
+	for _, x := range xs {
+		if x.Rank() != 3 || x.Shape[0] != spec.InC {
+			panic(fmt.Sprintf("tensor: Conv2DBatch input %v, want [%d H W]", x.Shape, spec.InC))
 		}
-		plane := oh * ow
-		parallel.For(spec.OutC, func(c int) {
-			b := bias.Data[c]
-			d := out.Data[c*plane : (c+1)*plane]
-			for i := range d {
-				d[i] += b
-			}
+		if x.Shape[1] != xs[0].Shape[1] || x.Shape[2] != xs[0].Shape[2] {
+			panic(fmt.Sprintf("tensor: Conv2DBatch ragged batch %v vs %v", x.Shape, xs[0].Shape))
+		}
+	}
+	groups := spec.Groups
+	if groups <= 0 {
+		groups = 1
+	}
+	if spec.InC%groups != 0 || spec.OutC%groups != 0 {
+		panic(fmt.Sprintf("tensor: Conv2DBatch groups %d incompatible with channels %d→%d", groups, spec.InC, spec.OutC))
+	}
+	nb := len(xs)
+	h, wd := xs[0].Shape[1], xs[0].Shape[2]
+	oh, ow := spec.OutSize(h, wd)
+	if oh <= 0 || ow <= 0 {
+		panic(fmt.Sprintf("tensor: Conv2DBatch empty output for input %dx%d spec %+v", h, wd, spec))
+	}
+	plane := oh * ow
+	outs := make([]*Tensor, nb)
+	for b := range outs {
+		outs[b] = Scratch.Get(spec.OutC, oh, ow)
+	}
+	icg := spec.InC / groups
+	ocg := spec.OutC / groups
+	cols := Scratch.Get(icg*spec.KH*spec.KW, nb*plane)
+	big := Scratch.Get(ocg, nb*plane)
+	for g := 0; g < groups; g++ {
+		for b, x := range xs {
+			im2colInto(x, cols, spec, g*icg, icg, oh, ow, b*plane, nb*plane)
+		}
+		wslice := FromSlice(
+			w.Data[g*ocg*icg*spec.KH*spec.KW:(g+1)*ocg*icg*spec.KH*spec.KW],
+			ocg, icg*spec.KH*spec.KW)
+		MatMulInto(big, wslice, cols)
+		// Scatter the [ocg, nb*plane] group result into per-sample CHW.
+		parallel.For(ocg*nb, func(i int) {
+			c, b := i/nb, i%nb
+			copy(outs[b].Data[(g*ocg+c)*plane:(g*ocg+c+1)*plane],
+				big.Data[c*nb*plane+b*plane:c*nb*plane+(b+1)*plane])
 		})
 	}
-	return out
+	Scratch.Put(cols, big)
+	for _, out := range outs {
+		addBias(out.Data, bias, spec.OutC, plane)
+	}
+	return outs
+}
+
+// addBias adds a per-channel bias over a CHW activation laid out as
+// outC planes of plane elements. A nil bias is a no-op.
+func addBias(data []float32, bias *Tensor, outC, plane int) {
+	if bias == nil {
+		return
+	}
+	if bias.Len() != outC {
+		panic(fmt.Sprintf("tensor: conv bias len %d, want %d", bias.Len(), outC))
+	}
+	parallel.For(outC, func(c int) {
+		b := bias.Data[c]
+		d := data[c*plane : (c+1)*plane]
+		for i := range d {
+			d[i] += b
+		}
+	})
 }
 
 // im2col unrolls receptive fields of channels [c0, c0+nc) into cols, a
 // [nc*KH*KW, oh*ow] matrix. Zero padding is materialised as zeros.
 func im2col(x, cols *Tensor, spec ConvSpec, c0, nc, oh, ow int) {
+	im2colInto(x, cols, spec, c0, nc, oh, ow, 0, oh*ow)
+}
+
+// im2colInto is im2col writing each unrolled row into cols at column
+// offset colOff, with rowStride columns per cols row — the layout hook
+// that lets a batch of samples share one cols matrix (sample b occupies
+// columns [b*oh*ow, (b+1)*oh*ow)).
+func im2colInto(x, cols *Tensor, spec ConvSpec, c0, nc, oh, ow, colOff, rowStride int) {
 	h, w := x.Shape[1], x.Shape[2]
 	dh, dw := spec.dil()
-	rowLen := oh * ow
 	parallel.For(nc*spec.KH*spec.KW, func(r int) {
 		c := r / (spec.KH * spec.KW)
 		rem := r % (spec.KH * spec.KW)
 		ky := rem / spec.KW
 		kx := rem % spec.KW
 		src := x.Data[(c0+c)*h*w : (c0+c+1)*h*w]
-		dst := cols.Data[r*rowLen : (r+1)*rowLen]
+		dst := cols.Data[r*rowStride+colOff : r*rowStride+colOff+oh*ow]
 		i := 0
 		for oy := 0; oy < oh; oy++ {
 			iy := oy*spec.StrideH - spec.PadH + ky*dh

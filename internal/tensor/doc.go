@@ -1,0 +1,22 @@
+// Package tensor implements dense float32 tensors and the numerical
+// kernels used by the neural-network inference engine: blocked parallel
+// matrix multiplication, im2col convolution (single-frame and batched),
+// pooling, and elementwise activations.
+//
+// The design goal is a small, allocation-conscious engine fast enough to
+// run scaled-down YOLO-style networks on CPU for the repository's
+// benchmarks, not a general autograd framework. All kernels parallelise
+// across rows/channels with internal/parallel.
+//
+// Two mechanisms serve the batched hot path:
+//
+//   - Conv2DBatch lowers a whole batch of same-shape inputs to one
+//     im2col + blocked matmul per group, so the weights stream through
+//     the cache once per batch instead of once per frame. Per-column
+//     accumulation order matches Conv2D, making batched results
+//     bit-identical to per-frame ones.
+//   - Pool (and the package-level Scratch pool) recycles backing slices
+//     by power-of-two class; conv scratch, batched outputs, and nn
+//     module intermediates cycle through it so steady-state inference
+//     allocates almost nothing.
+package tensor

@@ -1,0 +1,97 @@
+package tensor
+
+import "sync"
+
+// Pool recycles tensor backing slices across kernel invocations. Buffers
+// are binned by power-of-two capacity class, so a Get for any volume up
+// to a class's size can reuse any buffer previously Put into it. The
+// pool is the allocation backbone of the batched inference path: im2col
+// scratch, batched matmul outputs, and module intermediates all cycle
+// through it, so steady-state inference allocates almost nothing.
+//
+// Tensors returned by Get carry *uninitialised* data — every kernel that
+// draws scratch from a pool must overwrite the region it reads back.
+// Put accepts any tensor (pool-born or not) but the caller must
+// guarantee nothing else aliases its backing slice; views made with
+// FromSlice or Reshape share storage with their parent, so putting a
+// tensor with live views corrupts later Gets.
+//
+// Pool is safe for concurrent use.
+type Pool struct {
+	mu   sync.Mutex
+	free map[uint][][]float32
+}
+
+// NewPool creates an empty buffer pool.
+func NewPool() *Pool {
+	return &Pool{free: map[uint][][]float32{}}
+}
+
+// Scratch is the package-level pool the tensor kernels and the nn
+// batched forward path draw from. Callers may Put network outputs back
+// into it once consumed to close the recycling loop.
+var Scratch = NewPool()
+
+// classFor returns the power-of-two class index that can satisfy n
+// (ceil log2).
+func classFor(n int) uint {
+	c := uint(0)
+	for s := 1; s < n; s <<= 1 {
+		c++
+	}
+	return c
+}
+
+// Get returns a tensor of the given shape backed by a recycled buffer
+// when one is available, or a fresh allocation otherwise. The data is
+// NOT zeroed — callers must fully overwrite it before reading.
+func (p *Pool) Get(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	cls := classFor(n)
+	p.mu.Lock()
+	bufs := p.free[cls]
+	var data []float32
+	if len(bufs) > 0 {
+		data = bufs[len(bufs)-1]
+		p.free[cls] = bufs[:len(bufs)-1]
+	}
+	p.mu.Unlock()
+	if data == nil {
+		data = make([]float32, 1<<cls)
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: data[:n]}
+}
+
+// GetZeroed is Get followed by a zero fill — for callers that accumulate
+// into the buffer instead of overwriting it.
+func (p *Pool) GetZeroed(shape ...int) *Tensor {
+	t := p.Get(shape...)
+	for i := range t.Data {
+		t.Data[i] = 0
+	}
+	return t
+}
+
+// Put returns tensors' backing slices to the pool for reuse. Tensors
+// whose capacity is below their power-of-two class are binned one class
+// down so Get never hands out a short buffer. nil tensors are ignored.
+// The caller must not touch a tensor (or any view of it) after Put.
+func (p *Pool) Put(ts ...*Tensor) {
+	p.mu.Lock()
+	for _, t := range ts {
+		if t == nil || cap(t.Data) == 0 {
+			continue
+		}
+		buf := t.Data[:0]
+		// Floor class: the largest class this capacity fully covers.
+		cls := uint(0)
+		for s := 2; s <= cap(buf); s <<= 1 {
+			cls++
+		}
+		p.free[cls] = append(p.free[cls], buf)
+	}
+	p.mu.Unlock()
+}

@@ -1,12 +1,3 @@
-// Package tensor implements dense float32 tensors and the numerical
-// kernels used by the neural-network inference engine: blocked parallel
-// matrix multiplication, im2col convolution, pooling, and elementwise
-// activations.
-//
-// The design goal is a small, allocation-conscious engine fast enough to
-// run scaled-down YOLO-style networks on CPU for the repository's
-// benchmarks, not a general autograd framework. All kernels parallelise
-// across rows/channels with internal/parallel.
 package tensor
 
 import (

@@ -1,0 +1,9 @@
+// Package thermal simulates the second modality of the paper's
+// multi-modal future work: a long-wave infrared camera boresighted with
+// the drone's RGB sensor. People radiate body heat regardless of
+// illumination, so thermal detection keeps the VIP trackable when the
+// visible-light vest detector goes blind (night, deep shadow) — at the
+// cost of identity: a thermal blob cannot tell the VIP from a
+// pedestrian, which is why fusion only *proposes* candidates for the
+// tracker rather than asserting detections.
+package thermal

@@ -1,13 +1,3 @@
-// Package track adds temporal consistency on top of per-frame vest
-// detections: a single-target tracker with a constant-velocity motion
-// model, exponential box smoothing, and coast-through-dropout behaviour.
-//
-// The paper benchmarks per-frame models; a deployed Ocularone pipeline
-// must bridge the frames where the detector misses (blur, occlusion,
-// low light) without losing the VIP. The tracker turns a detector with
-// per-frame recall r into a stream with effective recall well above r,
-// and its confidence decay gives the pipeline a principled "VIP lost"
-// signal instead of a single-frame alarm.
 package track
 
 import (

@@ -1,0 +1,7 @@
+// Package video synthesises the drone footage the paper's dataset was
+// extracted from: a handheld DJI Tello following a proxy VIP through
+// campus scenes at 30 FPS, 720p. Videos are generated lazily — each frame
+// is rendered on demand from a deterministic per-video stream — and a
+// frame extractor subsamples them at a target rate (the paper uses
+// moviepy at 10 FPS), yielding annotated stills for the dataset builder.
+package video
