@@ -215,6 +215,27 @@ func BenchmarkExtBatchServing(b *testing.B) {
 	reportOnce(b, "ext-batch", func(w io.Writer) { bench.WriteBatchStudy(w, rows) })
 }
 
+// BenchmarkExtQuantServing runs the INT8 quantized-serving study and
+// asserts the PR-3 acceptance shape: running the whole medium pipeline
+// in int8 serves at least 1.5x the fp32 frames/sec on every Jetson
+// (measured 2.1-2.3x; the Jetsons' rated TOPS are int8 figures).
+func BenchmarkExtQuantServing(b *testing.B) {
+	var rows []bench.QuantRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = bench.RunQuantStudy(benchScale.Seed)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.Policy == "int8-all" && r.Speedup < 1.5 {
+			b.Fatalf("%s int8-all speedup %.2fx below the 1.5x acceptance bar", r.Device, r.Speedup)
+		}
+	}
+	reportOnce(b, "ext-quant", func(w io.Writer) { bench.WriteQuantStudy(w, rows) })
+}
+
 // BenchmarkExtEfficiency regenerates the throughput-per-dollar/-watt
 // table derived from Table 3's price and power columns.
 func BenchmarkExtEfficiency(b *testing.B) {
@@ -343,6 +364,125 @@ func BenchmarkConv2D(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tensor.Conv2D(x, w, nil, spec)
+	}
+}
+
+// BenchmarkNNForwardQuantYOLOv8NanoCPU measures the INT8 forward pass
+// of the calibrated+quantized yolov8n — compare against
+// BenchmarkNNForwardYOLOv8NanoCPU for the whole-network int8 win
+// (smaller than the kernel-level win: detect heads and elementwise ops
+// stay fp32).
+func BenchmarkNNForwardQuantYOLOv8NanoCPU(b *testing.B) {
+	net := models.BuildQuantized(models.V8Nano, 1, 1, 3, 96, 96)
+	x := tensor.New(3, 96, 96)
+	r := rng.New(2)
+	for i := range x.Data {
+		x.Data[i] = r.Float32()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.ForwardQuant(x)
+	}
+}
+
+// BenchmarkMatMulInt8 measures the int8 GEMM with fused requantization
+// at the YOLO backbone shape (64ch 3×3 conv at 40×40 lowered to
+// [128,576]×[576,1600]) — the kernel the BENCHMARKS.md ≥1.5x speedup
+// claim is recorded against, with BenchmarkMatMulYOLO as its fp32
+// baseline.
+func BenchmarkMatMulInt8(b *testing.B) {
+	r := rng.New(3)
+	a := tensor.New(128, 576)
+	c := tensor.New(576, 1600)
+	for i := range a.Data {
+		a.Data[i] = r.Float32()
+	}
+	for i := range c.Data {
+		c.Data[i] = r.Float32()
+	}
+	qa := tensor.QuantizePerChannel(a)
+	qc := tensor.QuantizeSymmetric(c)
+	rowScale := make([]float32, 128)
+	for i := range rowScale {
+		rowScale[i] = qa.ScaleFor(i) * qc.Scales[0]
+	}
+	dst := tensor.New(128, 1600)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.MatMulInt8Into(dst, qa, qc, rowScale)
+	}
+}
+
+// BenchmarkMatMulYOLO is the fp32 GEMM at the same YOLO backbone shape
+// as BenchmarkMatMulInt8.
+func BenchmarkMatMulYOLO(b *testing.B) {
+	r := rng.New(3)
+	a := tensor.New(128, 576)
+	c := tensor.New(576, 1600)
+	dst := tensor.New(128, 1600)
+	for i := range a.Data {
+		a.Data[i] = r.Float32()
+	}
+	for i := range c.Data {
+		c.Data[i] = r.Float32()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.MatMulInto(dst, a, c)
+	}
+}
+
+// BenchmarkConv2DInt8 measures the quantized conv (fused quantizing
+// im2col + int8 GEMM) on the same backbone layer shape as
+// BenchmarkConv2D.
+func BenchmarkConv2DInt8(b *testing.B) {
+	spec := tensor.ConvSpec{InC: 64, OutC: 128, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+	x := tensor.New(64, 40, 40)
+	w := tensor.New(128, 64, 3, 3)
+	r := rng.New(4)
+	for i := range x.Data {
+		x.Data[i] = r.Float32()
+	}
+	for i := range w.Data {
+		w.Data[i] = r.Float32()
+	}
+	qw := tensor.QuantizePerChannel(w)
+	xScale := float32(1.0) / 127
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.Conv2DQ(x, qw, nil, spec, xScale)
+	}
+}
+
+// BenchmarkMatVec measures the row-banded matrix-vector kernel (the
+// attention/decoder projection shape).
+func BenchmarkMatVec(b *testing.B) {
+	a := tensor.New(1024, 1024)
+	x := tensor.New(1024)
+	r := rng.New(5)
+	for i := range a.Data {
+		a.Data[i] = r.Float32()
+	}
+	for i := range x.Data {
+		x.Data[i] = r.Float32()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.MatVec(a, x)
+	}
+}
+
+// BenchmarkTranspose measures the parallel blocked transpose at the
+// attention score-matrix shape (n×n with n = 40×40 anchors).
+func BenchmarkTranspose(b *testing.B) {
+	a := tensor.New(1600, 1600)
+	r := rng.New(6)
+	for i := range a.Data {
+		a.Data[i] = r.Float32()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.Transpose(a)
 	}
 }
 

@@ -4,27 +4,38 @@
 // concurrent sessions of the hybrid pipeline against one shared device
 // through the stage-graph fleet scheduler. The -batch flag sweeps the
 // batched roofline model (standalone mode) or enables fleet
-// micro-batching (drone mode).
+// micro-batching (drone mode); -precision switches every sweep between
+// the fp32 baseline and the INT8 quantized path; -engine runs the real
+// pure-Go inference engine (fp32 or int8 kernels per -precision) so
+// -cpuprofile/-memprofile can pin GEMM hot-path regressions from the
+// CLI.
 //
 // Usage:
 //
 //	inferbench                          # all models × all devices
 //	inferbench -device nx -frames 1000
-//	inferbench -model yolov8x
+//	inferbench -model yolov8x -precision int8
 //	inferbench -batch 8                 # batched-latency sweep, sizes 1..8
 //	inferbench -drones 8 -model yolov8x -device rtx4090 -fps 10
-//	inferbench -drones 16 -batch 8 -window 60   # micro-batched fleet serving
+//	inferbench -drones 16 -batch 8 -window 60 -precision int8
+//	inferbench -engine 10 -model yolov8n -precision int8 -cpuprofile cpu.out
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"time"
 
 	"ocularone/internal/device"
 	"ocularone/internal/metrics"
 	"ocularone/internal/models"
+	"ocularone/internal/nn"
 	"ocularone/internal/pipeline"
+	"ocularone/internal/rng"
+	"ocularone/internal/tensor"
 )
 
 func main() {
@@ -37,60 +48,143 @@ func main() {
 		fps        = flag.Float64("fps", 10, "fleet mode: per-drone analysed frame rate")
 		batch      = flag.Int("batch", 0, "micro-batch size: roofline sweep standalone, BatchPolicy in fleet mode")
 		window     = flag.Float64("window", 50, "fleet mode: micro-batching window in simulated ms")
+		precFlag   = flag.String("precision", "fp32", "inference precision: fp32 | int8")
+		engine     = flag.Int("engine", 0, "run N real engine forward passes (wall clock) instead of simulated sweeps")
+		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	)
 	flag.Parse()
 
-	if *drones > 0 {
-		bp := pipeline.BatchPolicy{MaxBatch: *batch, WindowMS: *window}
-		if err := fleetMode(*drones, *modelFlag, *deviceFlag, *frames, *fps, *seed, bp); err != nil {
-			fmt.Fprintln(os.Stderr, "inferbench:", err)
-			os.Exit(1)
-		}
-		return
-	}
-	if *batch > 1 {
-		if err := batchSweep(*modelFlag, *deviceFlag, *batch); err != nil {
-			fmt.Fprintln(os.Stderr, "inferbench:", err)
-			os.Exit(1)
-		}
-		return
+	prec, err := device.ParsePrecision(*precFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "inferbench:", err)
+		os.Exit(1)
 	}
 
-	devs := device.AllIDs
-	if *deviceFlag != "all" {
-		d, err := lookupDevice(*deviceFlag)
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "inferbench:", err)
 			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "inferbench:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	defer func() {
+		if *memProfile == "" {
+			return
+		}
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "inferbench:", err)
+			return
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "inferbench:", err)
+		}
+	}()
+
+	if err := run(*deviceFlag, *modelFlag, *frames, *seed, *drones, *fps, *batch, *window, *engine, prec); err != nil {
+		fmt.Fprintln(os.Stderr, "inferbench:", err)
+		os.Exit(1)
+	}
+}
+
+// run dispatches to the selected mode; kept apart from main so the
+// profiling defers always execute.
+func run(deviceFlag, modelFlag string, frames int, seed uint64, drones int, fps float64, batch int, window float64, engine int, prec device.Precision) error {
+	if engine > 0 {
+		return engineMode(modelFlag, engine, seed, prec)
+	}
+	if drones > 0 {
+		bp := pipeline.BatchPolicy{MaxBatch: batch, WindowMS: window}
+		return fleetMode(drones, modelFlag, deviceFlag, frames, fps, seed, bp, prec)
+	}
+	if batch > 1 {
+		return batchSweep(modelFlag, deviceFlag, batch, prec)
+	}
+
+	devs := device.AllIDs
+	if deviceFlag != "all" {
+		d, err := lookupDevice(deviceFlag)
+		if err != nil {
+			return err
 		}
 		devs = []device.ID{d}
 	}
 	mods := models.AllIDs
-	if *modelFlag != "all" {
-		m, err := lookupModel(*modelFlag)
+	if modelFlag != "all" {
+		m, err := lookupModel(modelFlag)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "inferbench:", err)
-			os.Exit(1)
+			return err
 		}
 		mods = []models.ID{m}
 	}
 
+	fmt.Printf("precision: %s\n", prec)
 	fmt.Printf("%-12s %-10s %10s %10s %10s %10s %10s %10s\n",
 		"model", "device", "median", "p25", "p75", "p95", "fps", "J/frame")
 	for _, m := range mods {
 		for _, d := range devs {
-			s := metrics.SummarizeMS(device.Sample(m, d, *frames, *seed^uint64(m)<<8^uint64(d)))
+			s := metrics.SummarizeMS(device.Sample(m, d, prec, frames, seed^uint64(m)<<8^uint64(d)))
 			fmt.Printf("%-12s %-10s %9.1fms %9.1fms %9.1fms %9.1fms %10.1f %10.2f\n",
 				m, d, s.MedianMS, s.P25MS, s.P75MS, s.P95MS,
-				device.FPS(m, d), device.EnergyPerFrameJ(m, d))
+				device.FPS(m, d, prec), device.EnergyPerFrameJ(m, d, prec))
 		}
 	}
+	return nil
+}
+
+// engineMode runs the real pure-Go engine — the actual im2col+GEMM
+// kernels, fp32 or int8 — for n frames at a reduced input, printing
+// wall-clock per-frame time. This is the mode -cpuprofile/-memprofile
+// exist for: a profile taken here lands directly in tensor.MatMulInto /
+// tensor.MatMulInt8Into and their im2col feeders.
+func engineMode(modelFlag string, n int, seed uint64, prec device.Precision) error {
+	m := models.V8Nano
+	if modelFlag != "all" {
+		mm, err := lookupModel(modelFlag)
+		if err != nil {
+			return err
+		}
+		m = mm
+	}
+	const h, w = 96, 96 // reduced input keeps all-models sweeps tractable on CPU
+	var net *nn.Network
+	if prec == device.INT8 {
+		net = models.BuildQuantized(m, 1, seed, 3, h, w)
+	} else {
+		net = models.Build(m, 1, seed)
+	}
+	r := rng.New(seed ^ 0xf00d)
+	x := tensor.New(3, h, w)
+	for i := range x.Data {
+		x.Data[i] = r.Float32()
+	}
+	fmt.Printf("engine: %s, %s kernels, %d frames at %dx%d\n", m, prec, n, h, w)
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		if prec == device.INT8 {
+			net.ForwardQuant(x)
+		} else {
+			net.Forward(x)
+		}
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("total %.2fs, %.1f ms/frame\n", elapsed.Seconds(), elapsed.Seconds()*1e3/float64(n))
+	return nil
 }
 
 // batchSweep prints the batched roofline: per model×device, service
 // time and effective per-frame latency/throughput at batch sizes
 // 1, 2, 4, ... up to maxBatch.
-func batchSweep(modelFlag, deviceFlag string, maxBatch int) error {
+func batchSweep(modelFlag, deviceFlag string, maxBatch int, prec device.Precision) error {
 	devs := device.AllIDs
 	if deviceFlag != "all" {
 		d, err := lookupDevice(deviceFlag)
@@ -112,14 +206,15 @@ func batchSweep(modelFlag, deviceFlag string, maxBatch int) error {
 		sizes = append(sizes, n)
 	}
 	sizes = append(sizes, maxBatch)
+	fmt.Printf("precision: %s\n", prec)
 	fmt.Printf("%-12s %-10s %6s %12s %12s %10s %9s\n",
 		"model", "device", "batch", "service", "ms/frame", "fps", "speedup")
 	for _, m := range mods {
 		for _, d := range devs {
-			base := device.BatchFPS(m, d, 1)
+			base := device.BatchFPS(m, d, 1, prec)
 			for _, n := range sizes {
-				svc := device.PredictBatchMS(m, d, n)
-				fps := device.BatchFPS(m, d, n)
+				svc := device.PredictBatchMS(m, d, n, prec)
+				fps := device.BatchFPS(m, d, n, prec)
 				fmt.Printf("%-12s %-10s %6d %10.1fms %10.2fms %10.1f %8.2fx\n",
 					m, d, n, svc, svc/float64(n), fps, fps/base)
 			}
@@ -152,8 +247,10 @@ func lookupModel(name string) (models.ID, error) {
 // the chosen detector on the chosen (shared) device, auxiliary models on
 // per-drone Orin Nanos — and prints each session's latency summary plus
 // the fleet aggregate. A batch policy with MaxBatch > 1 micro-batches
-// compatible stage work across the fleet.
-func fleetMode(drones int, modelFlag, deviceFlag string, frames int, fps float64, seed uint64, bp pipeline.BatchPolicy) error {
+// compatible stage work across the fleet; INT8 precision applies to
+// every stage of every drone (stage-mixed deployments are available
+// through the pipeline.PrecisionPolicy API).
+func fleetMode(drones int, modelFlag, deviceFlag string, frames int, fps float64, seed uint64, bp pipeline.BatchPolicy, prec device.Precision) error {
 	det := models.V8XLarge
 	if modelFlag != "all" {
 		m, err := lookupModel(modelFlag)
@@ -175,6 +272,10 @@ func fleetMode(drones int, modelFlag, deviceFlag string, frames int, fps float64
 	}
 	place := pipeline.EdgePlacement(device.OrinNano, det)
 	place[pipeline.StageDetect] = pipeline.Placement{Device: shared, Model: det}
+	var pol pipeline.PrecisionPolicy
+	if prec == device.INT8 {
+		pol = pipeline.UniformPrecision(device.INT8, "detect", "pose", "depth")
+	}
 	sessions := make([]*pipeline.Session, drones)
 	for i := range sessions {
 		sessions[i] = &pipeline.Session{
@@ -183,7 +284,8 @@ func fleetMode(drones int, modelFlag, deviceFlag string, frames int, fps float64
 			// Spread arrivals evenly over the frame period: independent
 			// drone feeds are uncorrelated.
 			Seed: seed + uint64(i)*211, OffsetMS: float64(i) * (1e3 / fps) / float64(drones),
-			Graph: pipeline.TimingVIPGraph(place),
+			Graph:     pipeline.TimingVIPGraph(place),
+			Precision: pol,
 		}
 	}
 	results, err := (&pipeline.Fleet{Sessions: sessions, SharedSeed: seed ^ 0x9e3779b9, Batch: bp}).Run()
@@ -200,8 +302,8 @@ func fleetMode(drones int, modelFlag, deviceFlag string, frames int, fps float64
 	if bp.Enabled() {
 		batching = fmt.Sprintf("micro-batch %d within %.0f ms", bp.MaxBatch, bp.WindowMS)
 	}
-	fmt.Printf("fleet: %d drones @ %.0f FPS, detect=%s on %s %s (%s), aux on per-drone o-nano\n\n",
-		drones, fps, det, sharing, shared, batching)
+	fmt.Printf("fleet: %d drones @ %.0f FPS, detect=%s on %s %s (%s, %s), aux on per-drone o-nano\n\n",
+		drones, fps, det, sharing, shared, batching, prec)
 	fmt.Printf("%-8s %10s %10s %10s %11s %9s\n", "drone", "median", "p95", "max", "deadline%", "dropped%")
 	var all []float64
 	totalDropped, total := 0, 0

@@ -23,11 +23,16 @@ type Arm struct {
 	// RobustAccuracy is the rate under degraded (dusk) conditions —
 	// larger models hold up better (the paper's Fig. 4 finding).
 	RobustAccuracy float64
+	// Precision is the arm's inference precision (zero value FP32, so
+	// existing arm sets keep their calibrated latencies). Controllers
+	// steering an int8 deployment should set it so arm ranking uses the
+	// quantized roofline.
+	Precision device.Precision
 }
 
 // LatencyMS returns the arm's expected per-frame latency.
 func (a Arm) LatencyMS() float64 {
-	l := device.PredictMS(a.Model, a.Dev)
+	l := device.PredictMS(a.Model, a.Dev, a.Precision)
 	if !device.Registry(a.Dev).IsEdge() {
 		l += a.RTTms
 	}

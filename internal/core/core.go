@@ -138,6 +138,17 @@ var experiments = map[string]Experiment{
 			return nil
 		},
 	},
+	"ext-quant": {
+		Name: "ext-quant", Desc: "Extension: INT8 quantized serving gain on Jetson-class devices",
+		Run: func(s *Suite, w io.Writer) error {
+			rows, err := bench.RunQuantStudy(s.Scale.Seed)
+			if err != nil {
+				return err
+			}
+			bench.WriteQuantStudy(w, rows)
+			return nil
+		},
+	},
 	"ext-fleet": {
 		Name: "ext-fleet", Desc: "Extension: multi-drone fleet contention on a shared workstation",
 		Run: func(s *Suite, w io.Writer) error {

@@ -10,7 +10,7 @@ import (
 // TestPredictBatchMSReducesToPredictMS pins the batch-1 degenerate case.
 func TestPredictBatchMSReducesToPredictMS(t *testing.T) {
 	for _, d := range AllIDs {
-		if got, want := PredictBatchMS(models.V8XLarge, d, 1), PredictMS(models.V8XLarge, d); got != want {
+		if got, want := PredictBatchMS(models.V8XLarge, d, 1, FP32), PredictMS(models.V8XLarge, d, FP32); got != want {
 			t.Fatalf("%s: PredictBatchMS(1) = %v, PredictMS = %v", d, got, want)
 		}
 	}
@@ -24,7 +24,7 @@ func TestBatchAmortisation(t *testing.T) {
 		prevPerFrame := math.Inf(1)
 		prevTotal := 0.0
 		for _, n := range []int{1, 2, 4, 8, 16} {
-			total := PredictBatchMS(models.V8XLarge, d, n)
+			total := PredictBatchMS(models.V8XLarge, d, n, FP32)
 			perFrame := total / float64(n)
 			if perFrame >= prevPerFrame {
 				t.Fatalf("%s: per-frame latency %.3f at batch %d not below %.3f", d, perFrame, n, prevPerFrame)
@@ -41,8 +41,8 @@ func TestBatchAmortisation(t *testing.T) {
 // serving of the x-large detector on the shared workstation at least
 // doubles frames/sec over per-frame serving.
 func TestWorkstationBatch8Speedup(t *testing.T) {
-	base := BatchFPS(models.V8XLarge, RTX4090, 1)
-	batched := BatchFPS(models.V8XLarge, RTX4090, 8)
+	base := BatchFPS(models.V8XLarge, RTX4090, 1, FP32)
+	batched := BatchFPS(models.V8XLarge, RTX4090, 8, FP32)
 	if batched < 2*base {
 		t.Fatalf("batch-8 fps %.1f < 2x per-frame fps %.1f", batched, base)
 	}

@@ -79,10 +79,15 @@ type Device struct {
 	// inference approaches as concurrent samples fill the SMs: large
 	// GPUs that idle most of their cores at batch 1 (low SustainedEff)
 	// have the most headroom, small edge GPUs that already saturate
-	// have little.
+	// have little. Int8Gain is the effective-throughput multiplier of
+	// INT8 post-training-quantized inference over the fp32 baseline:
+	// Jetsons route int8 through the tensor cores that carry most of
+	// their rated TOPS, while the workstation GPU reaches int8 via
+	// DP4A-class instructions at a smaller multiple.
 	SustainedEff float64
 	LaunchMS     float64
 	BatchEffCap  float64
+	Int8Gain     float64
 }
 
 // Registry returns the specification of a device.
@@ -97,6 +102,8 @@ func Registry(id ID) Device {
 			ClockGHz: 1.30, MemBWGBs: 204.8,
 			// Large GPU, batch-1 eager execution: most SMs idle.
 			SustainedEff: 0.105, LaunchMS: 12, BatchEffCap: 0.42,
+			// 64 Ampere tensor cores: INT8 is the headline TOPS figure.
+			Int8Gain: 2.9,
 		}
 	case XavierNX:
 		return Device{
@@ -108,6 +115,8 @@ func Registry(id ID) Device {
 			// Small GPU saturates better, but Volta lacks Ampere's
 			// scheduling improvements.
 			SustainedEff: 0.31, LaunchMS: 18, BatchEffCap: 0.48,
+			// Volta tensor cores lack Ampere's int8 sparsity paths.
+			Int8Gain: 2.4,
 		}
 	case OrinNano:
 		return Device{
@@ -117,6 +126,7 @@ func Registry(id ID) Device {
 			FormFactor: "100x79x21", WeightG: 176, PriceUSD: 630,
 			ClockGHz: 0.625, MemBWGBs: 68,
 			SustainedEff: 0.335, LaunchMS: 15, BatchEffCap: 0.50,
+			Int8Gain: 2.7,
 		}
 	case RTX4090:
 		return Device{
@@ -129,6 +139,8 @@ func Registry(id ID) Device {
 			FormFactor: "workstation", WeightG: 0, PriceUSD: 1599,
 			ClockGHz: 2.52, MemBWGBs: 1008,
 			SustainedEff: 0.195, LaunchMS: 1.5, BatchEffCap: 0.62,
+			// DP4A-class int8: solid but not the Jetson-style 3x headline.
+			Int8Gain: 1.7,
 		}
 	default:
 		panic(fmt.Sprintf("device: unknown id %d", int(id)))

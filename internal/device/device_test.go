@@ -35,10 +35,10 @@ func TestDeviceOrderingPerModel(t *testing.T) {
 	// §4.2.3: fastest inference on o-agx, then o-nano, then nx, for every
 	// model; the workstation beats them all.
 	for _, m := range models.AllIDs {
-		agx := PredictMS(m, OrinAGX)
-		nano := PredictMS(m, OrinNano)
-		nx := PredictMS(m, XavierNX)
-		rtx := PredictMS(m, RTX4090)
+		agx := PredictMS(m, OrinAGX, FP32)
+		nano := PredictMS(m, OrinNano, FP32)
+		nx := PredictMS(m, XavierNX, FP32)
+		rtx := PredictMS(m, RTX4090, FP32)
 		if !(agx < nano && nano < nx) {
 			t.Errorf("%s: edge ordering broken: agx=%.1f nano=%.1f nx=%.1f", m, agx, nano, nx)
 		}
@@ -54,29 +54,29 @@ func TestPaperLatencyEnvelopes(t *testing.T) {
 	// reaches ≈989 ms.
 	for _, m := range []models.ID{models.V8Nano, models.V8Medium, models.V11Nano, models.V11Medium} {
 		for _, d := range []ID{OrinAGX, OrinNano} {
-			if ms := PredictMS(m, d); ms > 200 {
+			if ms := PredictMS(m, d, FP32); ms > 200 {
 				t.Errorf("%s on %s = %.1f ms, paper bound 200", m, d, ms)
 			}
 		}
 	}
 	for _, m := range []models.ID{models.V8XLarge, models.V11XLarge} {
-		if ms := PredictMS(m, OrinAGX); ms > 500 {
+		if ms := PredictMS(m, OrinAGX, FP32); ms > 500 {
 			t.Errorf("%s on o-agx = %.1f ms, paper bound 500", m, ms)
 		}
 	}
-	if ms := PredictMS(m8xID(), XavierNX); ms < 700 || ms > 1200 {
+	if ms := PredictMS(m8xID(), XavierNX, FP32); ms < 700 || ms > 1200 {
 		t.Errorf("v8x on nx = %.1f ms, paper reports ≈989", ms)
 	}
-	if ms := PredictMS(models.V8Medium, XavierNX); ms <= 200 {
+	if ms := PredictMS(models.V8Medium, XavierNX, FP32); ms <= 200 {
 		t.Errorf("v8m on nx = %.1f ms, paper says only nano stays ≤200", ms)
 	}
 	// Bodypose median 28–47 ms, Monodepth2 75–232 ms across edge devices.
 	for _, d := range EdgeIDs {
-		bp := PredictMS(models.Bodypose, d)
+		bp := PredictMS(models.Bodypose, d, FP32)
 		if bp < 20 || bp > 55 {
 			t.Errorf("bodypose on %s = %.1f ms, paper range ≈28-47", d, bp)
 		}
-		md := PredictMS(models.Monodepth2, d)
+		md := PredictMS(models.Monodepth2, d, FP32)
 		if md < 60 || md > 260 {
 			t.Errorf("monodepth2 on %s = %.1f ms, paper range ≈75-232", d, md)
 		}
@@ -90,22 +90,22 @@ func TestWorkstationEnvelope(t *testing.T) {
 	// pose and depth within 10 ms; x-large under 20 ms; ≈50× faster than
 	// nx for x-large.
 	for _, m := range models.AllIDs {
-		ms := PredictMS(m, RTX4090)
+		ms := PredictMS(m, RTX4090, FP32)
 		if ms > 25 {
 			t.Errorf("%s on rtx4090 = %.1f ms > 25", m, ms)
 		}
 	}
 	for _, m := range []models.ID{models.V8Nano, models.V8Medium, models.V11Nano, models.V11Medium, models.Bodypose, models.Monodepth2} {
-		if ms := PredictMS(m, RTX4090); ms > 10 {
+		if ms := PredictMS(m, RTX4090, FP32); ms > 10 {
 			t.Errorf("%s on rtx4090 = %.1f ms > 10", m, ms)
 		}
 	}
 	for _, m := range []models.ID{models.V8XLarge, models.V11XLarge} {
-		if ms := PredictMS(m, RTX4090); ms > 20 {
+		if ms := PredictMS(m, RTX4090, FP32); ms > 20 {
 			t.Errorf("%s on rtx4090 = %.1f ms > 20", m, ms)
 		}
 	}
-	speedup := PredictMS(models.V8XLarge, XavierNX) / PredictMS(models.V8XLarge, RTX4090)
+	speedup := PredictMS(models.V8XLarge, XavierNX, FP32) / PredictMS(models.V8XLarge, RTX4090, FP32)
 	if speedup < 35 || speedup > 75 {
 		t.Errorf("x-large nx/rtx speedup = %.0f×, paper ≈50×", speedup)
 	}
@@ -114,9 +114,9 @@ func TestWorkstationEnvelope(t *testing.T) {
 func TestModelSizeOrderingOnDevice(t *testing.T) {
 	// Larger models are slower on every device.
 	for _, d := range AllIDs {
-		n := PredictMS(models.V8Nano, d)
-		m := PredictMS(models.V8Medium, d)
-		x := PredictMS(models.V8XLarge, d)
+		n := PredictMS(models.V8Nano, d, FP32)
+		m := PredictMS(models.V8Medium, d, FP32)
+		x := PredictMS(models.V8XLarge, d, FP32)
 		if !(n < m && m < x) {
 			t.Errorf("%s: size ordering broken: %f %f %f", d, n, m, x)
 		}
@@ -124,8 +124,8 @@ func TestModelSizeOrderingOnDevice(t *testing.T) {
 }
 
 func TestSampleStatistics(t *testing.T) {
-	base := PredictMS(models.V8Medium, OrinAGX)
-	samples := Sample(models.V8Medium, OrinAGX, 1000, 7)
+	base := PredictMS(models.V8Medium, OrinAGX, FP32)
+	samples := Sample(models.V8Medium, OrinAGX, FP32, 1000, 7)
 	sum := metrics.SummarizeMS(samples)
 	if math.Abs(sum.MedianMS-base)/base > 0.1 {
 		t.Fatalf("sample median %.1f far from model %.1f", sum.MedianMS, base)
@@ -134,7 +134,7 @@ func TestSampleStatistics(t *testing.T) {
 		t.Fatal("no straggler spread in samples")
 	}
 	// Determinism.
-	again := Sample(models.V8Medium, OrinAGX, 1000, 7)
+	again := Sample(models.V8Medium, OrinAGX, FP32, 1000, 7)
 	for i := range samples {
 		if samples[i] != again[i] {
 			t.Fatal("Sample not deterministic")
@@ -143,16 +143,16 @@ func TestSampleStatistics(t *testing.T) {
 }
 
 func TestEnergyAndFPS(t *testing.T) {
-	e := EnergyPerFrameJ(models.V8Nano, XavierNX)
+	e := EnergyPerFrameJ(models.V8Nano, XavierNX, FP32)
 	if e <= 0 || e > 15 {
 		t.Fatalf("implausible energy %v J", e)
 	}
-	fps := FPS(models.V8Nano, OrinAGX)
+	fps := FPS(models.V8Nano, OrinAGX, FP32)
 	if fps < 5 || fps > 200 {
 		t.Fatalf("implausible fps %v", fps)
 	}
 	// Heavier model, lower FPS.
-	if FPS(models.V8XLarge, OrinAGX) >= fps {
+	if FPS(models.V8XLarge, OrinAGX, FP32) >= fps {
 		t.Fatal("x-large not slower than nano")
 	}
 }
@@ -250,7 +250,7 @@ func TestWorkstationDoesNotThrottle(t *testing.T) {
 		t.Fatalf("workstation throttle factor %v", f)
 	}
 	// Service times stay within jitter of the model across the run.
-	base := PredictMS(models.V8XLarge, RTX4090)
+	base := PredictMS(models.V8XLarge, RTX4090, FP32)
 	for _, c := range cs {
 		if c.ServiceMS > base*2 {
 			t.Fatalf("workstation service %.1f vs base %.1f", c.ServiceMS, base)

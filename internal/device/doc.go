@@ -21,4 +21,12 @@
 // jitter and thermal throttling; Cluster pools executors under a stable
 // per-device seed derivation so shared-workstation contention studies
 // are reproducible.
+//
+// The roofline is precision-aware: Precision (FP32/INT8) threads
+// through PredictMS, PredictBatchMS, Sample, FPS, and EnergyPerFrameJ.
+// Each device carries an Int8Gain effective-throughput multiplier (the
+// Jetsons' rated TOPS are predominantly int8 figures) and int8 weight
+// streaming moves half the bytes; Job.Precision routes through
+// Executor and MicroBatcher, which only coalesces same-model,
+// same-precision work.
 package device

@@ -34,18 +34,22 @@ func utilization(id models.ID, d Device) float64 {
 }
 
 // PredictMS returns the modelled per-frame inference latency in
-// milliseconds for a model on a device:
+// milliseconds for a model on a device at the given precision:
 //
-//	t = launch + FLOPs / (sustained × utilisation) + weightTraffic / BW
+//	t = launch + FLOPs / (sustained × gain(prec) × utilisation) + weightTraffic / BW
 //
-// The weight-traffic term streams the model's FP16 weights once per
-// frame (batch-1 inference cannot amortise them), which is what
-// separates x-large models on the bandwidth-starved Xavier NX.
-func PredictMS(m models.ID, dev ID) float64 {
+// The weight-traffic term streams the model's deployment weights once
+// per frame (batch-1 inference cannot amortise them) — fp16 bytes for
+// FP32 execution, one byte per parameter for INT8 — which is what
+// separates x-large models on the bandwidth-starved Xavier NX. FP32 has
+// gain 1 and reproduces the calibrated baseline bit-for-bit; INT8
+// applies the device's Int8Gain throughput cap, so the Jetsons (whose
+// rated TOPS are mostly int8 tensor-core figures) gain the most.
+func PredictMS(m models.ID, dev ID, prec Precision) float64 {
 	d := Registry(dev)
 	stats := models.ComputeStats(m)
-	computeMS := stats.GFLOPs / (d.SustainedGFLOPS() * utilization(m, d)) * 1e3
-	weightMS := float64(stats.Params*2) / (d.MemBWGBs * 1e9) * 1e3
+	computeMS := stats.GFLOPs / (d.SustainedGFLOPS() * d.Gain(prec) * utilization(m, d)) * 1e3
+	weightMS := float64(stats.Params*prec.WeightBytes()) / (d.MemBWGBs * 1e9) * 1e3
 	return d.LaunchMS + computeMS + weightMS
 }
 
@@ -68,41 +72,43 @@ func (d Device) BatchEff(n int) float64 {
 }
 
 // PredictBatchMS returns the modelled service time for one batched
-// inference of n frames:
+// inference of n frames at the given precision:
 //
-//	t = launch + n × FLOPs / (peak × batchEff(n) × utilisation) + weightTraffic / BW
+//	t = launch + n × FLOPs / (peak × batchEff(n) × gain(prec) × utilisation) + weightTraffic / BW
 //
 // One launch and one pass over the weights cover the whole batch — the
 // two overheads batch-1 inference pays per frame — while the compute
-// term scales with n at the improved batched efficiency. n <= 1 reduces
-// exactly to PredictMS.
-func PredictBatchMS(m models.ID, dev ID, n int) float64 {
+// term scales with n at the improved batched efficiency. The precision
+// gain composes multiplicatively with batching: they are independent
+// levers (int8 raises the per-SM rate, batching raises occupancy).
+// n <= 1 reduces exactly to PredictMS.
+func PredictBatchMS(m models.ID, dev ID, n int, prec Precision) float64 {
 	if n <= 1 {
-		return PredictMS(m, dev)
+		return PredictMS(m, dev, prec)
 	}
 	d := Registry(dev)
 	stats := models.ComputeStats(m)
 	sustained := d.PeakGFLOPS() * d.BatchEff(n)
-	computeMS := float64(n) * stats.GFLOPs / (sustained * utilization(m, d)) * 1e3
-	weightMS := float64(stats.Params*2) / (d.MemBWGBs * 1e9) * 1e3
+	computeMS := float64(n) * stats.GFLOPs / (sustained * d.Gain(prec) * utilization(m, d)) * 1e3
+	weightMS := float64(stats.Params*prec.WeightBytes()) / (d.MemBWGBs * 1e9) * 1e3
 	return d.LaunchMS + computeMS + weightMS
 }
 
 // BatchFPS returns the modelled per-frame throughput when frames are
-// served in batches of n.
-func BatchFPS(m models.ID, dev ID, n int) float64 {
+// served in batches of n at the given precision.
+func BatchFPS(m models.ID, dev ID, n int, prec Precision) float64 {
 	if n < 1 {
 		n = 1
 	}
-	return float64(n) * 1e3 / PredictBatchMS(m, dev, n)
+	return float64(n) * 1e3 / PredictBatchMS(m, dev, n, prec)
 }
 
 // Sample draws n per-frame latency observations around the modelled
-// value: log-normal execution jitter plus an occasional straggler frame
-// (page faults, DVFS transitions), matching the spread of the paper's
-// box plots. Deterministic for a given seed.
-func Sample(m models.ID, dev ID, n int, seed uint64) []float64 {
-	base := PredictMS(m, dev)
+// value at the given precision: log-normal execution jitter plus an
+// occasional straggler frame (page faults, DVFS transitions), matching
+// the spread of the paper's box plots. Deterministic for a given seed.
+func Sample(m models.ID, dev ID, prec Precision, n int, seed uint64) []float64 {
+	base := PredictMS(m, dev, prec)
 	r := rng.New(seed)
 	out := make([]float64, n)
 	for i := range out {
@@ -117,18 +123,20 @@ func Sample(m models.ID, dev ID, n int, seed uint64) []float64 {
 
 // EnergyPerFrameJ estimates the energy one inference consumes: the
 // device draws idle power plus a utilisation-proportional dynamic
-// component for the duration of the frame.
-func EnergyPerFrameJ(m models.ID, dev ID) float64 {
+// component for the duration of the frame. Shorter int8 frames draw the
+// same power profile for less time, so energy scales with the latency.
+func EnergyPerFrameJ(m models.ID, dev ID, prec Precision) float64 {
 	d := Registry(dev)
-	sec := PredictMS(m, dev) / 1e3
+	sec := PredictMS(m, dev, prec) / 1e3
 	util := utilization(m, d)
 	watts := d.PeakPowerW * (0.25 + 0.65*util)
 	return watts * sec
 }
 
-// FPS returns the modelled sustained throughput in frames per second.
-func FPS(m models.ID, dev ID) float64 {
-	return 1e3 / PredictMS(m, dev)
+// FPS returns the modelled sustained throughput in frames per second at
+// the given precision.
+func FPS(m models.ID, dev ID, prec Precision) float64 {
+	return 1e3 / PredictMS(m, dev, prec)
 }
 
 // CanHost reports whether the model's weights and working set fit the

@@ -8,10 +8,13 @@ import (
 	"ocularone/internal/rng"
 )
 
-// Job is one inference request in the discrete-event simulation.
+// Job is one inference request in the discrete-event simulation. The
+// zero-value Precision is FP32, so jobs that never mention precision
+// replay the pre-quantization schedule bit-for-bit.
 type Job struct {
 	Model     models.ID
 	ArrivalMS float64
+	Precision Precision
 }
 
 // Completion describes a finished job.
@@ -91,8 +94,8 @@ func (e *Executor) Duty() float64 { return e.duty }
 // batch-of-one case of serviceBatchMS, kept as one implementation so
 // the jitter draw sequence can never diverge between the two paths
 // (the MaxBatch=1 bit-parity guarantee depends on it).
-func (e *Executor) serviceMS(m models.ID) float64 {
-	return e.serviceBatchMS(m, 1)
+func (e *Executor) serviceMS(m models.ID, prec Precision) float64 {
+	return e.serviceBatchMS(m, prec, 1)
 }
 
 // expApprox is exp(x) for the small |x| the jitter draws produce.
@@ -102,11 +105,12 @@ func expApprox(x float64) float64 {
 }
 
 // serviceBatchMS draws one jittered, thermally adjusted service time
-// for a batch of n frames of model m around the batched roofline
-// prediction. A batch consumes exactly one jitter tuple regardless of
-// n, keeping replays deterministic.
-func (e *Executor) serviceBatchMS(m models.ID, n int) float64 {
-	base := PredictBatchMS(m, e.Device, n) * e.throttleFactor()
+// for a batch of n frames of model m at the given precision around the
+// batched roofline prediction. A batch consumes exactly one jitter
+// tuple regardless of n (and of precision), keeping replays
+// deterministic across precision sweeps.
+func (e *Executor) serviceBatchMS(m models.ID, prec Precision, n int) float64 {
+	base := PredictBatchMS(m, e.Device, n, prec) * e.throttleFactor()
 	v := base * expApprox(e.rng.NormRange(0, 0.06))
 	if e.rng.Bool(0.03) {
 		v *= e.rng.Range(1.3, 1.9)
@@ -133,7 +137,7 @@ func (e *Executor) Run(jobs []Job) []Completion {
 		if e.busyMS == 0 {
 			idle = 0 // no history before the first job
 		}
-		svc := e.serviceMS(j.Model)
+		svc := e.serviceMS(j.Model, j.Precision)
 		c := Completion{Job: j, StartMS: start, ServiceMS: svc, FinishMS: start + svc}
 		e.updateDuty(idle, svc)
 		e.busyMS = c.FinishMS
@@ -143,13 +147,14 @@ func (e *Executor) Run(jobs []Job) []Completion {
 	return out
 }
 
-// RunBatch serves a batch of same-model jobs as one coalesced inference:
-// the batch starts when the stream is free and every member has arrived,
-// runs for one batched service time, and all members complete together.
-// Each completion's ServiceMS carries an equal 1/n share of the batch
-// service so utilisation accounting still sums to true busy time. A
-// batch of one takes the exact per-job Run path (same jitter draws), so
-// micro-batching with size 1 is bit-identical to unbatched execution.
+// RunBatch serves a batch of same-model, same-precision jobs as one
+// coalesced inference: the batch starts when the stream is free and
+// every member has arrived, runs for one batched service time, and all
+// members complete together. Each completion's ServiceMS carries an
+// equal 1/n share of the batch service so utilisation accounting still
+// sums to true busy time. A batch of one takes the exact per-job Run
+// path (same jitter draws), so micro-batching with size 1 is
+// bit-identical to unbatched execution.
 func (e *Executor) RunBatch(jobs []Job) []Completion {
 	if len(jobs) == 0 {
 		return nil
@@ -157,11 +162,14 @@ func (e *Executor) RunBatch(jobs []Job) []Completion {
 	if len(jobs) == 1 {
 		return e.Run(jobs)
 	}
-	m := jobs[0].Model
+	m, prec := jobs[0].Model, jobs[0].Precision
 	start := jobs[0].ArrivalMS
 	for _, j := range jobs {
 		if j.Model != m {
 			panic(fmt.Sprintf("device: RunBatch mixes models %s and %s", m, j.Model))
+		}
+		if j.Precision != prec {
+			panic(fmt.Sprintf("device: RunBatch mixes precisions %s and %s", prec, j.Precision))
 		}
 		if j.ArrivalMS > start {
 			start = j.ArrivalMS
@@ -174,7 +182,7 @@ func (e *Executor) RunBatch(jobs []Job) []Completion {
 	if e.busyMS == 0 {
 		idle = 0
 	}
-	svc := e.serviceBatchMS(m, len(jobs))
+	svc := e.serviceBatchMS(m, prec, len(jobs))
 	share := svc / float64(len(jobs))
 	out := make([]Completion, len(jobs))
 	for i, j := range jobs {

@@ -1,0 +1,31 @@
+package models
+
+import (
+	"ocularone/internal/nn"
+	"ocularone/internal/rng"
+	"ocularone/internal/tensor"
+)
+
+// BuildQuantized builds a model and takes it through the full
+// post-training-quantization recipe: calibrate activation ranges on a
+// synthetic frame stream at the given input size, then snapshot
+// per-channel int8 weights (range-sensitive tails stay fp32 — see
+// nn.Quantize). The returned network serves both Forward (bit-exact
+// fp32) and ForwardQuant (int8 conv path). frames controls the
+// calibration stream length (3 is plenty for the synthetic substrate's
+// stationary statistics).
+func BuildQuantized(id ID, nc int, seed uint64, frames, h, w int) *nn.Network {
+	net := Build(id, nc, seed)
+	r := rng.New(seed ^ 0xca11b)
+	cal := make([]*tensor.Tensor, frames)
+	for i := range cal {
+		f := tensor.New(3, h, w)
+		for j := range f.Data {
+			f.Data[j] = r.Float32()
+		}
+		cal[i] = f
+	}
+	nn.Calibrate(net, cal)
+	nn.Quantize(net)
+	return net
+}

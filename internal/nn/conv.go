@@ -21,6 +21,13 @@ const (
 
 // Conv is the Ultralytics "Conv" block: Conv2d (no bias) + BatchNorm +
 // activation, with weights folded for inference.
+//
+// A Conv optionally carries a post-training-quantized twin of its
+// weights: Calibrate records the input activation range seen on a
+// calibration stream, Quantize snapshots per-channel int8 weights, and
+// the int8On switch (driven by Network.ForwardQuant) routes Forward
+// through the int8 kernels. The fp32 path is never mutated — switching
+// int8On off restores bit-identical fp32 behaviour.
 type Conv struct {
 	label   string
 	spec    tensor.ConvSpec
@@ -32,6 +39,12 @@ type Conv struct {
 	act     Act
 	useBias bool
 	bias    *tensor.Tensor
+
+	// Quantization state (see quant.go).
+	calib   *calibState     // non-nil while a calibration pass observes inputs
+	inScale float32         // calibrated input activation scale (absmax/127)
+	qw      *tensor.QTensor // per-channel int8 weights, set by Quantize
+	int8On  bool            // route Forward through the int8 kernels
 }
 
 // NewConv builds a Conv-BN-activation block with He-initialised weights
@@ -96,8 +109,16 @@ func (c *Conv) Name() string { return c.label }
 // Forward implements Module.
 func (c *Conv) Forward(xs []*tensor.Tensor) *tensor.Tensor {
 	x := xs[0]
+	if c.calib != nil {
+		c.calib.observe(x)
+	}
 	var out *tensor.Tensor
-	if c.useBias {
+	if c.int8On && c.qw != nil {
+		// Only BN-folded convs quantize (see quantizable), so the int8
+		// path never carries a conv bias and always applies BN.
+		out = tensor.Conv2DQ(x, c.qw, nil, c.spec, c.inScale)
+		tensor.BatchNormInference(out, c.gamma, c.beta, c.mean, c.varnc, 1e-3)
+	} else if c.useBias {
 		out = tensor.Conv2D(x, c.weight, c.bias, c.spec)
 	} else {
 		out = tensor.Conv2D(x, c.weight, nil, c.spec)
@@ -119,7 +140,13 @@ func (c *Conv) Forward(xs []*tensor.Tensor) *tensor.Tensor {
 // applied per sample afterwards (elementwise, so order is irrelevant).
 func (c *Conv) ForwardBatch(xs [][]*tensor.Tensor) []*tensor.Tensor {
 	var outs []*tensor.Tensor
-	if c.useBias {
+	if c.int8On && c.qw != nil {
+		// As in Forward: quantized convs are always the BN-folded kind.
+		outs = tensor.Conv2DBatchQ(firsts(xs), c.qw, nil, c.spec, c.inScale)
+		for _, o := range outs {
+			tensor.BatchNormInference(o, c.gamma, c.beta, c.mean, c.varnc, 1e-3)
+		}
+	} else if c.useBias {
 		outs = tensor.Conv2DBatch(firsts(xs), c.weight, c.bias, c.spec)
 	} else {
 		outs = tensor.Conv2DBatch(firsts(xs), c.weight, nil, c.spec)
@@ -171,3 +198,6 @@ func (c *Conv) Cost(in []Shape) (int64, Shape) {
 
 // OutC reports the block's output channel count.
 func (c *Conv) OutC() int { return c.spec.OutC }
+
+// EachConv implements ConvWalker.
+func (c *Conv) EachConv(fn func(*Conv)) { fn(c) }

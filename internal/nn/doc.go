@@ -16,6 +16,13 @@
 // tensor.Scratch. Batched results are bit-identical to per-frame ones —
 // batching is a throughput lever, never an accuracy trade.
 //
+// The package also carries the post-training-quantization recipe:
+// Calibrate records per-conv activation ranges, Quantize snapshots
+// symmetric per-channel int8 weights (range-sensitive tails — detect
+// heads, attention, sigmoid feeders — stay fp32), and
+// Network.ForwardQuant/ForwardBatchQuant replay the graph through the
+// int8 kernels with tested drift bounds against fp32.
+//
 // Weights are deterministically initialised (He-style) from a seed; no
 // training happens in this package.
 package nn

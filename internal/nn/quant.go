@@ -1,0 +1,263 @@
+package nn
+
+import (
+	"fmt"
+
+	"ocularone/internal/tensor"
+)
+
+// This file is the post-training-quantization layer of the NN engine:
+// Calibrate records per-conv activation ranges on a representative
+// frame stream, Quantize snapshots symmetric per-channel int8 weights
+// for every range-safe conv, and Network.ForwardQuant/ForwardBatchQuant
+// replay the ordinary forward graph with those convs routed through the
+// int8 im2col+GEMM kernels. Range-sensitive tails — the detect head's
+// DFL/class logits and the attention blocks' softmax inputs — always
+// stay fp32: their outputs feed exponentials where a single activation
+// quantization step is amplified, and they are a tiny share of FLOPs.
+
+// ConvWalker is implemented by every module that owns Conv blocks; it
+// visits each of them exactly once. Modules without convolutions
+// (pooling, upsampling, concat) simply do not implement it.
+type ConvWalker interface {
+	EachConv(fn func(*Conv))
+}
+
+// forEachConv visits every conv of every node of the network.
+func forEachConv(n *Network, fn func(*Conv)) {
+	for _, node := range n.Nodes {
+		if w, ok := node.Module.(ConvWalker); ok {
+			w.EachConv(fn)
+		}
+	}
+}
+
+// calibState accumulates the activation range a conv's input sees
+// during a calibration pass.
+type calibState struct {
+	absMax float32
+}
+
+func (s *calibState) observe(x *tensor.Tensor) {
+	mx := s.absMax
+	for _, v := range x.Data {
+		if v < 0 {
+			v = -v
+		}
+		if v > mx {
+			mx = v
+		}
+	}
+	s.absMax = mx
+}
+
+// Calibrate runs the network in fp32 over a stream of representative
+// input frames while every conv records the absolute range of its input
+// activations, then freezes each conv's symmetric activation scale
+// (absmax/127). Calibration is the accuracy half of post-training
+// quantization: the scale decides how the int8 grid is spent, and a
+// range observed on real frames wastes none of it on headroom.
+// It returns the number of convs calibrated. Frames must be non-empty
+// and match the network's expected input shape.
+func Calibrate(n *Network, frames []*tensor.Tensor) int {
+	if len(frames) == 0 {
+		panic("nn: Calibrate with no frames")
+	}
+	count := 0
+	forEachConv(n, func(c *Conv) {
+		c.calib = &calibState{}
+		count++
+	})
+	for _, f := range frames {
+		n.Forward(f)
+	}
+	forEachConv(n, func(c *Conv) {
+		c.inScale = c.calib.absMax / 127
+		c.calib = nil
+	})
+	return count
+}
+
+// quantizable reports whether one conv is safe to run in int8: it must
+// be calibrated (a positive input scale), be a BN-folded conv (raw
+// Conv2d prediction layers are the heads' logit emitters), and not feed
+// a sigmoid directly (the depth decoder's disparity path, where
+// quantization steps turn into range compression).
+func (c *Conv) quantizable() bool {
+	return c.inScale > 0 && !c.useBias && c.act != ActSigmoid
+}
+
+// Quantize snapshots symmetric per-channel int8 weights for every
+// quantizable conv of a calibrated network, skipping the
+// range-sensitive tail modules (detect heads and attention blocks)
+// entirely. The fp32 weights are kept untouched beside the int8 twin,
+// so Forward keeps its exact pre-quantization behaviour and
+// ForwardQuant switches paths per call. It returns the number of convs
+// now carrying int8 weights.
+func Quantize(n *Network) int {
+	count := 0
+	for _, node := range n.Nodes {
+		switch node.Module.(type) {
+		case *Detect, *C2PSA:
+			// Softmax/exponential consumers: DFL box distributions and
+			// class logits in Detect, attention scores in C2PSA.
+			continue
+		}
+		w, ok := node.Module.(ConvWalker)
+		if !ok {
+			continue
+		}
+		w.EachConv(func(c *Conv) {
+			if !c.quantizable() {
+				return
+			}
+			c.qw = tensor.QuantizePerChannel(c.weight)
+			count++
+		})
+	}
+	return count
+}
+
+// QuantizedConvs reports how many convs currently carry int8 weights.
+func (n *Network) QuantizedConvs() int {
+	count := 0
+	forEachConv(n, func(c *Conv) {
+		if c.qw != nil {
+			count++
+		}
+	})
+	return count
+}
+
+// setInt8 flips the int8 routing switch on every conv (only convs with
+// quantized weights actually change paths).
+func (n *Network) setInt8(on bool) {
+	forEachConv(n, func(c *Conv) { c.int8On = on })
+}
+
+// ForwardQuant evaluates the graph like Forward but routes every
+// quantized conv through the int8 im2col+GEMM kernels; unquantized
+// modules (detect heads, attention, anything Quantize skipped) run
+// fp32 as usual. The network must have been calibrated and quantized.
+// ForwardQuant and Forward may be interleaved freely on the same
+// network, but a Network is not safe for concurrent forward passes.
+func (n *Network) ForwardQuant(x *tensor.Tensor) []*tensor.Tensor {
+	if n.QuantizedConvs() == 0 {
+		panic(fmt.Sprintf("nn: ForwardQuant on %q without Quantize (or nothing quantizable)", n.Name))
+	}
+	n.setInt8(true)
+	defer n.setInt8(false)
+	return n.Forward(x)
+}
+
+// ForwardBatchQuant is the batched counterpart of ForwardQuant: the
+// whole batch flows through Conv2DBatchQ for quantized convs, with the
+// same activation recycling as ForwardBatch. Results are bit-identical
+// to per-sample ForwardQuant.
+func (n *Network) ForwardBatchQuant(xs []*tensor.Tensor) [][]*tensor.Tensor {
+	if n.QuantizedConvs() == 0 {
+		panic(fmt.Sprintf("nn: ForwardBatchQuant on %q without Quantize (or nothing quantizable)", n.Name))
+	}
+	n.setInt8(true)
+	defer n.setInt8(false)
+	return n.ForwardBatch(xs)
+}
+
+// SizeBytesINT8 returns the serialized model size with int8 conv
+// weights (and fp16 for everything unquantized) — the deployment
+// footprint of the quantized engine.
+func (n *Network) SizeBytesINT8() int64 {
+	var quantized int64
+	forEachConv(n, func(c *Conv) {
+		if c.qw != nil {
+			quantized += int64(len(c.qw.Data))
+		}
+	})
+	return n.Params()*2 - quantized
+}
+
+// EachConv implements ConvWalker.
+func (b *Bottleneck) EachConv(fn func(*Conv)) {
+	b.cv1.EachConv(fn)
+	b.cv2.EachConv(fn)
+}
+
+// EachConv implements ConvWalker.
+func (b *C2f) EachConv(fn func(*Conv)) {
+	b.cv1.EachConv(fn)
+	b.cv2.EachConv(fn)
+	for _, m := range b.ms {
+		m.EachConv(fn)
+	}
+}
+
+// EachConv implements ConvWalker.
+func (b *C3) EachConv(fn func(*Conv)) {
+	b.cv1.EachConv(fn)
+	b.cv2.EachConv(fn)
+	b.cv3.EachConv(fn)
+	for _, m := range b.ms {
+		m.EachConv(fn)
+	}
+}
+
+// EachConv implements ConvWalker.
+func (b *C3k2) EachConv(fn func(*Conv)) {
+	b.cv1.EachConv(fn)
+	b.cv2.EachConv(fn)
+	for _, m := range b.ms {
+		if w, ok := m.(ConvWalker); ok {
+			w.EachConv(fn)
+		}
+	}
+}
+
+// EachConv implements ConvWalker.
+func (b *SPPF) EachConv(fn func(*Conv)) {
+	b.cv1.EachConv(fn)
+	b.cv2.EachConv(fn)
+}
+
+// EachConv implements ConvWalker.
+func (a *Attention) EachConv(fn func(*Conv)) {
+	a.qkv.EachConv(fn)
+	a.proj.EachConv(fn)
+	a.pe.EachConv(fn)
+}
+
+// EachConv implements ConvWalker.
+func (p *PSABlock) EachConv(fn func(*Conv)) {
+	p.attn.EachConv(fn)
+	p.ffn1.EachConv(fn)
+	p.ffn2.EachConv(fn)
+}
+
+// EachConv implements ConvWalker.
+func (b *C2PSA) EachConv(fn func(*Conv)) {
+	b.cv1.EachConv(fn)
+	b.cv2.EachConv(fn)
+	for _, blk := range b.blocks {
+		blk.EachConv(fn)
+	}
+}
+
+// EachConv implements ConvWalker.
+func (b *BasicBlock) EachConv(fn func(*Conv)) {
+	b.cv1.EachConv(fn)
+	b.cv2.EachConv(fn)
+	if b.down != nil {
+		b.down.EachConv(fn)
+	}
+}
+
+// EachConv implements ConvWalker.
+func (d *Detect) EachConv(fn func(*Conv)) {
+	for li := range d.box {
+		for _, c := range d.box[li] {
+			c.EachConv(fn)
+		}
+		for _, c := range d.cls[li] {
+			c.EachConv(fn)
+		}
+	}
+}

@@ -7,10 +7,12 @@ import (
 // BatchPolicy routes per-stage device work through micro-batching: up
 // to MaxBatch frames arriving within WindowMS of each other form a
 // flush group, and within the group every stage's jobs that share an
-// executor and model are coalesced into one batched inference charged
-// the batched roofline latency (device.PredictBatchMS). Fleet sessions
-// sharing one workstation coalesce naturally — N drones' detect jobs
-// become one batch-N inference on the shared GPU.
+// executor, model, and precision are coalesced into one batched
+// inference charged the batched roofline latency
+// (device.PredictBatchMS). Fleet sessions sharing one workstation
+// coalesce naturally — N drones' detect jobs become one batch-N
+// inference on the shared GPU, and a fleet running a uniform
+// PrecisionPolicy batches exactly as an fp32 fleet does.
 //
 // MaxBatch <= 1 disables batching: every frame flushes as a group of
 // one and every stage job takes the exact per-frame executor path, so
@@ -155,7 +157,10 @@ func (g *groupRunner) flush() {
 				order = append(order, ex)
 			}
 			q.jobs = append(q.jobs, waveJob{gi: gi, name: name, p: p, ready: ready})
-			settle(q, q.mb.Offer(device.Job{Model: p.Model, ArrivalMS: ready}))
+			settle(q, q.mb.Offer(device.Job{
+				Model: p.Model, ArrivalMS: ready,
+				Precision: fr.env.sess.Precision.PrecisionFor(name),
+			}))
 		}
 		for _, ex := range order {
 			q := queues[ex]

@@ -18,6 +18,10 @@
 //     and model are charged one batched inference, so fleet sessions
 //     sharing a workstation coalesce naturally. MaxBatch <= 1 replays
 //     the per-frame path bit-for-bit.
+//   - PrecisionPolicy (precision.go): per-stage fp32/int8 selection,
+//     composing orthogonally with BatchPolicy (batches group by
+//     executor, model, and precision). An unset or all-FP32 policy
+//     replays the pre-quantization schedule bit-for-bit.
 //   - The legacy API (pipeline.go): Run and the placement helpers are
 //     thin wrappers assembling the classic three-stage graph.
 //

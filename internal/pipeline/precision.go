@@ -1,0 +1,35 @@
+package pipeline
+
+import "ocularone/internal/device"
+
+// PrecisionPolicy selects the numeric precision each stage's simulated
+// inference executes at, keyed by stage name. Missing entries (and a
+// nil policy) mean FP32, so a session that never mentions precision
+// replays the pre-quantization schedule bit-for-bit — the same
+// zero-value contract BatchPolicy keeps for batching.
+//
+// PrecisionPolicy composes orthogonally with BatchPolicy: the batching
+// scheduler coalesces jobs that share an executor, model, AND
+// precision, so a fleet whose drones all run the int8 detector still
+// forms full batches, while a mixed fleet splits cleanly into one
+// batched inference per precision.
+//
+// The intended deployment shape mirrors the quantized engine's accuracy
+// contract (see internal/nn): heavy convolutional stages (the YOLO
+// detect backbone) run int8, range-sensitive light stages stay fp32.
+type PrecisionPolicy map[string]device.Precision
+
+// PrecisionFor resolves one stage's precision (FP32 when unset).
+func (p PrecisionPolicy) PrecisionFor(stage string) device.Precision {
+	return p[stage] // zero value is FP32, also for nil maps
+}
+
+// UniformPrecision builds a policy running every named stage at one
+// precision.
+func UniformPrecision(prec device.Precision, stages ...string) PrecisionPolicy {
+	out := make(PrecisionPolicy, len(stages))
+	for _, s := range stages {
+		out[s] = prec
+	}
+	return out
+}

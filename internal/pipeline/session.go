@@ -57,6 +57,9 @@ type Session struct {
 	// (standalone runs only; fleets batch across sessions via
 	// Fleet.Batch).
 	Batch BatchPolicy
+	// Precision selects per-stage inference precision (nil = all FP32,
+	// the exact pre-quantization schedule). See PrecisionPolicy.
+	Precision PrecisionPolicy
 
 	local *device.Cluster
 }

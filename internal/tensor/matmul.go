@@ -66,48 +66,59 @@ func axpy(a float32, x, y []float32) {
 	}
 }
 
-// MatVec computes y = A × x for a 2-D A (m×k) and 1-D x (k).
+// MatVec computes y = A × x for a 2-D A (m×k) and 1-D x (k). Rows are
+// processed in contiguous bands (one ForRange chunk per worker), the
+// same dispatch shape as MatMulInto — per-row work items are far too
+// cheap to amortise a goroutine each.
 func MatVec(a, x *Tensor) *Tensor {
 	if a.Rank() != 2 || x.Rank() != 1 || a.Shape[1] != x.Shape[0] {
 		panic(fmt.Sprintf("tensor: MatVec shapes %v × %v", a.Shape, x.Shape))
 	}
 	m, k := a.Shape[0], a.Shape[1]
 	y := New(m)
-	parallel.For(m, func(i int) {
-		row := a.Data[i*k : (i+1)*k]
-		var s float32
-		for j, v := range row {
-			s += v * x.Data[j]
+	xd := x.Data
+	parallel.ForRange(m, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := a.Data[i*k : (i+1)*k]
+			var s float32
+			for j, v := range row {
+				s += v * xd[j]
+			}
+			y.Data[i] = s
 		}
-		y.Data[i] = s
 	})
 	return y
 }
 
-// Transpose returns the transpose of a 2-D tensor.
+// Transpose returns the transpose of a 2-D tensor. The copy is blocked
+// for cache friendliness and parallelised over source-row bands (each
+// band writes a disjoint set of destination columns), which matters on
+// the attention path where n×n score matrices are transposed per head.
 func Transpose(a *Tensor) *Tensor {
 	if a.Rank() != 2 {
 		panic(fmt.Sprintf("tensor: Transpose needs rank 2, got %v", a.Shape))
 	}
 	m, n := a.Shape[0], a.Shape[1]
 	t := New(n, m)
-	// Blocked transpose for cache friendliness on large matrices.
 	const bs = 32
-	for i0 := 0; i0 < m; i0 += bs {
-		for j0 := 0; j0 < n; j0 += bs {
-			i1, j1 := i0+bs, j0+bs
-			if i1 > m {
-				i1 = m
+	parallel.ForRange(m, func(lo, hi int) {
+		for i0 := lo; i0 < hi; i0 += bs {
+			i1 := i0 + bs
+			if i1 > hi {
+				i1 = hi
 			}
-			if j1 > n {
-				j1 = n
-			}
-			for i := i0; i < i1; i++ {
-				for j := j0; j < j1; j++ {
-					t.Data[j*m+i] = a.Data[i*n+j]
+			for j0 := 0; j0 < n; j0 += bs {
+				j1 := j0 + bs
+				if j1 > n {
+					j1 = n
+				}
+				for i := i0; i < i1; i++ {
+					for j := j0; j < j1; j++ {
+						t.Data[j*m+i] = a.Data[i*n+j]
+					}
 				}
 			}
 		}
-	}
+	})
 	return t
 }

@@ -42,6 +42,18 @@ func classFor(n int) uint {
 	return c
 }
 
+// floorClass returns the largest class index a buffer of the given
+// capacity fully covers (floor log2) — the Put-side counterpart of
+// classFor, shared by Pool and BytePool so the binning rules can never
+// diverge.
+func floorClass(capacity int) uint {
+	c := uint(0)
+	for s := 2; s <= capacity; s <<= 1 {
+		c++
+	}
+	return c
+}
+
 // Get returns a tensor of the given shape backed by a recycled buffer
 // when one is available, or a fresh allocation otherwise. The data is
 // NOT zeroed — callers must fully overwrite it before reading.
@@ -85,13 +97,9 @@ func (p *Pool) Put(ts ...*Tensor) {
 		if t == nil || cap(t.Data) == 0 {
 			continue
 		}
-		buf := t.Data[:0]
 		// Floor class: the largest class this capacity fully covers.
-		cls := uint(0)
-		for s := 2; s <= cap(buf); s <<= 1 {
-			cls++
-		}
-		p.free[cls] = append(p.free[cls], buf)
+		cls := floorClass(cap(t.Data))
+		p.free[cls] = append(p.free[cls], t.Data[:0])
 	}
 	p.mu.Unlock()
 }

@@ -1,0 +1,132 @@
+package tensor
+
+import (
+	"sync"
+	"testing"
+
+	"ocularone/internal/rng"
+)
+
+// TestPoolClassRoundTrip is the classFor/Put floor-class property test:
+// for any size n, a tensor obtained from Get(n) and Put back must be
+// handed out again by the next Get of any size in the same ceil-log2
+// class — pool buffers are recycled, never silently dropped. Reuse is
+// observed through the backing array: Get returns uninitialised data,
+// so a marker written before Put must still be there after reuse.
+func TestPoolClassRoundTrip(t *testing.T) {
+	r := rng.New(7)
+	for trial := 0; trial < 200; trial++ {
+		p := NewPool()
+		n := 1 + int(r.Uint64()%5000)
+		a := p.Get(n)
+		if len(a.Data) != n {
+			t.Fatalf("Get(%d) returned len %d", n, len(a.Data))
+		}
+		if cap(a.Data) < n {
+			t.Fatalf("Get(%d) returned cap %d < n", n, cap(a.Data))
+		}
+		a.Data[0] = 42
+		p.Put(a)
+		// Any size in the same class must reuse the buffer; Get computes
+		// ceil-log2 classes, and Put binned the power-of-two capacity at
+		// its exact class.
+		c := cap(a.Data)
+		m := c/2 + 1 + int(r.Uint64()%uint64(c-c/2)) // (cap/2, cap]
+		b := p.Get(m)
+		if b.Data[0] != 42 {
+			t.Fatalf("Get(%d) after Put(%d-cap buffer): fresh allocation, want recycled", m, cap(a.Data))
+		}
+	}
+}
+
+// TestPoolPutFloorsForeignCapacity pins the floor-class rule for
+// tensors that did not come from the pool: a backing slice whose
+// capacity is not a power of two is binned one class down, so Get can
+// never hand out a buffer shorter than the class it serves.
+func TestPoolPutFloorsForeignCapacity(t *testing.T) {
+	p := NewPool()
+	raw := make([]float32, 100) // floor class 6 (64), not class 7 (128)
+	raw[0] = 7
+	p.Put(FromSlice(raw, 100))
+
+	// Class-7 Get (65..128 elems) must NOT see the short buffer.
+	b := p.Get(128)
+	if cap(b.Data) < 128 {
+		t.Fatalf("Get(128) returned cap %d — short buffer leaked up a class", cap(b.Data))
+	}
+	// Class-6 Get (33..64) reuses it.
+	c := p.Get(64)
+	if c.Data[0] != 7 {
+		t.Fatal("Get(64) did not reuse the floored 100-cap buffer")
+	}
+}
+
+// TestPoolConcurrentStress hammers one pool from many goroutines with
+// interleaved Get/Put cycles; run under -race this validates the
+// locking discipline, and the marker check validates that no buffer is
+// ever handed to two goroutines at once.
+func TestPoolConcurrentStress(t *testing.T) {
+	p := NewPool()
+	const (
+		workers = 8
+		rounds  = 400
+	)
+	var wg sync.WaitGroup
+	errs := make(chan string, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rng.New(uint64(w) + 1)
+			marker := float32(w + 1)
+			held := make([]*Tensor, 0, 4)
+			for i := 0; i < rounds; i++ {
+				n := 1 + int(r.Uint64()%2048)
+				tt := p.Get(n)
+				// Claim the whole buffer, then verify no other goroutine
+				// scribbled on it while we hold it.
+				for j := range tt.Data {
+					tt.Data[j] = marker
+				}
+				for j := range tt.Data {
+					if tt.Data[j] != marker {
+						errs <- "buffer shared between goroutines"
+						return
+					}
+				}
+				held = append(held, tt)
+				if len(held) == cap(held) || r.Bool(0.5) {
+					p.Put(held...)
+					held = held[:0]
+				}
+			}
+			p.Put(held...)
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}
+
+// TestBytePoolRoundTrip mirrors the float pool property test for the
+// int8 ScratchB twin.
+func TestBytePoolRoundTrip(t *testing.T) {
+	p := NewBytePool()
+	b := p.Get(1000)
+	if len(b) != 1000 {
+		t.Fatalf("Get(1000) len %d", len(b))
+	}
+	b[0] = 9
+	p.Put(b)
+	c := p.Get(520) // same ceil class (1024)
+	if c[0] != 9 {
+		t.Fatal("BytePool did not recycle the buffer within its class")
+	}
+	short := make([]int8, 100) // floor class 64
+	p.Put(short)
+	if d := p.Get(128); cap(d) < 128 {
+		t.Fatalf("BytePool leaked a short buffer up a class (cap %d)", cap(d))
+	}
+}
