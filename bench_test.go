@@ -215,6 +215,42 @@ func BenchmarkExtBatchServing(b *testing.B) {
 	reportOnce(b, "ext-batch", func(w io.Writer) { bench.WriteBatchStudy(w, rows) })
 }
 
+// BenchmarkExtPlanServing runs the compiled-plan study and asserts the
+// PR-4 acceptance shape: the real engine's Plan.Execute steady state
+// performs zero heap allocations per frame while beating the
+// interpreter on wall clock, and planned serving improves served fps
+// over the interpreted engine on every Jetson profile (measured
+// ~1.2x, net of the one-time per-stage compile charge).
+func BenchmarkExtPlanServing(b *testing.B) {
+	var eng []bench.PlanEngineRow
+	var rows []bench.PlanRow
+	for i := 0; i < b.N; i++ {
+		eng = bench.RunPlanEngineStudy(benchScale.Seed)
+		var err error
+		rows, err = bench.RunPlanStudy(benchScale.Seed)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range eng {
+		if r.AllocsPlan != 0 {
+			b.Fatalf("%s: planned engine made %.0f allocs/frame, want 0", r.Model, r.AllocsPlan)
+		}
+		if r.Speedup < 1.02 {
+			b.Fatalf("%s: planned engine speedup %.2fx below the 1.02x bar", r.Model, r.Speedup)
+		}
+	}
+	for _, r := range rows {
+		if r.Policy == "plan" && r.Speedup < 1.1 {
+			b.Fatalf("%s planned serving speedup %.2fx below the 1.1x bar", r.Device, r.Speedup)
+		}
+	}
+	reportOnce(b, "ext-plan", func(w io.Writer) {
+		bench.WritePlanEngineStudy(w, eng)
+		bench.WritePlanStudy(w, rows)
+	})
+}
+
 // BenchmarkExtQuantServing runs the INT8 quantized-serving study and
 // asserts the PR-3 acceptance shape: running the whole medium pipeline
 // in int8 serves at least 1.5x the fp32 frames/sec on every Jetson
@@ -287,6 +323,27 @@ func BenchmarkNNForwardBatchYOLOv8NanoCPU(b *testing.B) {
 		for _, os := range outs {
 			tensor.Scratch.Put(os...)
 		}
+	}
+}
+
+// BenchmarkNNPlanExecuteYOLOv8NanoCPU measures the compiled plan on
+// the same network and input as BenchmarkNNForwardYOLOv8NanoCPU — the
+// ns/op delta is the fused-epilogue + arena win, and allocs/op pins
+// the zero-allocation steady state.
+func BenchmarkNNPlanExecuteYOLOv8NanoCPU(b *testing.B) {
+	net := models.Build(models.V8Nano, 1, 1)
+	plan := net.PlanFor(3, 96, 96)
+	x := tensor.New(3, 96, 96)
+	r := rng.New(2)
+	for i := range x.Data {
+		x.Data[i] = r.Float32()
+	}
+	xs := []*tensor.Tensor{x}
+	plan.Execute(xs, nn.ExecOpts{}) // bind the instance
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		plan.Execute(xs, nn.ExecOpts{})
 	}
 }
 

@@ -5,8 +5,11 @@
 // through the stage-graph fleet scheduler. The -batch flag sweeps the
 // batched roofline model (standalone mode) or enables fleet
 // micro-batching (drone mode); -precision switches every sweep between
-// the fp32 baseline and the INT8 quantized path; -engine runs the real
-// pure-Go inference engine (fp32 or int8 kernels per -precision) so
+// the fp32 baseline and the INT8 quantized path; -plan switches every
+// sweep (and the real engine) from the eager interpreter to compiled
+// execution plans; -engine runs the real pure-Go inference engine
+// (fp32 or int8 kernels per -precision, interpreted or planned per
+// -plan, reporting allocs/frame alongside latency) so
 // -cpuprofile/-memprofile can pin GEMM hot-path regressions from the
 // CLI.
 //
@@ -15,10 +18,12 @@
 //	inferbench                          # all models × all devices
 //	inferbench -device nx -frames 1000
 //	inferbench -model yolov8x -precision int8
+//	inferbench -plan                    # compiled-plan roofline sweep
 //	inferbench -batch 8                 # batched-latency sweep, sizes 1..8
 //	inferbench -drones 8 -model yolov8x -device rtx4090 -fps 10
-//	inferbench -drones 16 -batch 8 -window 60 -precision int8
+//	inferbench -drones 16 -batch 8 -window 60 -precision int8 -plan
 //	inferbench -engine 10 -model yolov8n -precision int8 -cpuprofile cpu.out
+//	inferbench -engine 10 -model yolov8n -plan   # 0 allocs/frame steady state
 package main
 
 import (
@@ -27,8 +32,8 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
-	"time"
 
+	"ocularone/internal/bench"
 	"ocularone/internal/device"
 	"ocularone/internal/metrics"
 	"ocularone/internal/models"
@@ -49,6 +54,7 @@ func main() {
 		batch      = flag.Int("batch", 0, "micro-batch size: roofline sweep standalone, BatchPolicy in fleet mode")
 		window     = flag.Float64("window", 50, "fleet mode: micro-batching window in simulated ms")
 		precFlag   = flag.String("precision", "fp32", "inference precision: fp32 | int8")
+		planFlag   = flag.Bool("plan", false, "execute through compiled plans instead of the eager interpreter")
 		engine     = flag.Int("engine", 0, "run N real engine forward passes (wall clock) instead of simulated sweeps")
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
@@ -90,7 +96,12 @@ func main() {
 		}
 	}()
 
-	if err := run(*deviceFlag, *modelFlag, *frames, *seed, *drones, *fps, *batch, *window, *engine, prec); err != nil {
+	eng := device.Interpreted
+	if *planFlag {
+		eng = device.Planned
+	}
+
+	if err := run(*deviceFlag, *modelFlag, *frames, *seed, *drones, *fps, *batch, *window, *engine, prec, eng); err != nil {
 		fmt.Fprintln(os.Stderr, "inferbench:", err)
 		os.Exit(1)
 	}
@@ -98,16 +109,16 @@ func main() {
 
 // run dispatches to the selected mode; kept apart from main so the
 // profiling defers always execute.
-func run(deviceFlag, modelFlag string, frames int, seed uint64, drones int, fps float64, batch int, window float64, engine int, prec device.Precision) error {
+func run(deviceFlag, modelFlag string, frames int, seed uint64, drones int, fps float64, batch int, window float64, engine int, prec device.Precision, eng device.Engine) error {
 	if engine > 0 {
-		return engineMode(modelFlag, engine, seed, prec)
+		return engineMode(modelFlag, engine, seed, prec, eng)
 	}
 	if drones > 0 {
 		bp := pipeline.BatchPolicy{MaxBatch: batch, WindowMS: window}
-		return fleetMode(drones, modelFlag, deviceFlag, frames, fps, seed, bp, prec)
+		return fleetMode(drones, modelFlag, deviceFlag, frames, fps, seed, bp, prec, eng)
 	}
 	if batch > 1 {
-		return batchSweep(modelFlag, deviceFlag, batch, prec)
+		return batchSweep(modelFlag, deviceFlag, batch, prec, eng)
 	}
 
 	devs := device.AllIDs
@@ -127,26 +138,28 @@ func run(deviceFlag, modelFlag string, frames int, seed uint64, drones int, fps 
 		mods = []models.ID{m}
 	}
 
-	fmt.Printf("precision: %s\n", prec)
+	fmt.Printf("precision: %s, engine: %s\n", prec, eng)
 	fmt.Printf("%-12s %-10s %10s %10s %10s %10s %10s %10s\n",
 		"model", "device", "median", "p25", "p75", "p95", "fps", "J/frame")
 	for _, m := range mods {
 		for _, d := range devs {
-			s := metrics.SummarizeMS(device.Sample(m, d, prec, frames, seed^uint64(m)<<8^uint64(d)))
+			s := metrics.SummarizeMS(device.SampleEng(m, d, prec, eng, frames, seed^uint64(m)<<8^uint64(d)))
 			fmt.Printf("%-12s %-10s %9.1fms %9.1fms %9.1fms %9.1fms %10.1f %10.2f\n",
 				m, d, s.MedianMS, s.P25MS, s.P75MS, s.P95MS,
-				device.FPS(m, d, prec), device.EnergyPerFrameJ(m, d, prec))
+				device.FPSEng(m, d, prec, eng), device.EnergyPerFrameJEng(m, d, prec, eng))
 		}
 	}
 	return nil
 }
 
 // engineMode runs the real pure-Go engine — the actual im2col+GEMM
-// kernels, fp32 or int8 — for n frames at a reduced input, printing
-// wall-clock per-frame time. This is the mode -cpuprofile/-memprofile
-// exist for: a profile taken here lands directly in tensor.MatMulInto /
-// tensor.MatMulInt8Into and their im2col feeders.
-func engineMode(modelFlag string, n int, seed uint64, prec device.Precision) error {
+// kernels, fp32 or int8, interpreted or through the compiled plan —
+// for n frames at a reduced input, printing wall-clock per-frame time
+// and heap allocations per frame. This is the mode
+// -cpuprofile/-memprofile exist for: a profile taken here lands
+// directly in tensor.MatMulInto / tensor.MatMulInt8Into (or their
+// fused epilogue twins with -plan) and their im2col feeders.
+func engineMode(modelFlag string, n int, seed uint64, prec device.Precision, eng device.Engine) error {
 	m := models.V8Nano
 	if modelFlag != "all" {
 		mm, err := lookupModel(modelFlag)
@@ -157,34 +170,46 @@ func engineMode(modelFlag string, n int, seed uint64, prec device.Precision) err
 	}
 	const h, w = 96, 96 // reduced input keeps all-models sweeps tractable on CPU
 	var net *nn.Network
+	var plan *nn.Plan
 	if prec == device.INT8 {
 		net = models.BuildQuantized(m, 1, seed, 3, h, w)
 	} else {
 		net = models.Build(m, 1, seed)
+	}
+	if eng == device.Planned {
+		plan = net.PlanFor(3, h, w)
 	}
 	r := rng.New(seed ^ 0xf00d)
 	x := tensor.New(3, h, w)
 	for i := range x.Data {
 		x.Data[i] = r.Float32()
 	}
-	fmt.Printf("engine: %s, %s kernels, %d frames at %dx%d\n", m, prec, n, h, w)
-	start := time.Now()
-	for i := 0; i < n; i++ {
-		if prec == device.INT8 {
-			net.ForwardQuant(x)
-		} else {
-			net.Forward(x)
+	opts := nn.ExecOpts{}
+	if prec == device.INT8 {
+		opts.Precision = nn.INT8
+	}
+	xs := []*tensor.Tensor{x}
+	step := func() {
+		switch {
+		case eng == device.Planned:
+			plan.Execute(xs, opts)
+		case prec == device.INT8:
+			net.ForwardQuantInterp(x)
+		default:
+			net.ForwardInterp(x)
 		}
 	}
-	elapsed := time.Since(start)
-	fmt.Printf("total %.2fs, %.1f ms/frame\n", elapsed.Seconds(), elapsed.Seconds()*1e3/float64(n))
+	fmt.Printf("engine: %s, %s kernels, %s execution, %d frames at %dx%d\n", m, prec, eng, n, h, w)
+	msFrame, allocsFrame := bench.MeasureFrames(n, step)
+	fmt.Printf("total %.2fs, %.1f ms/frame, %.0f allocs/frame\n",
+		msFrame*float64(n)/1e3, msFrame, allocsFrame)
 	return nil
 }
 
 // batchSweep prints the batched roofline: per model×device, service
 // time and effective per-frame latency/throughput at batch sizes
 // 1, 2, 4, ... up to maxBatch.
-func batchSweep(modelFlag, deviceFlag string, maxBatch int, prec device.Precision) error {
+func batchSweep(modelFlag, deviceFlag string, maxBatch int, prec device.Precision, eng device.Engine) error {
 	devs := device.AllIDs
 	if deviceFlag != "all" {
 		d, err := lookupDevice(deviceFlag)
@@ -206,15 +231,15 @@ func batchSweep(modelFlag, deviceFlag string, maxBatch int, prec device.Precisio
 		sizes = append(sizes, n)
 	}
 	sizes = append(sizes, maxBatch)
-	fmt.Printf("precision: %s\n", prec)
+	fmt.Printf("precision: %s, engine: %s\n", prec, eng)
 	fmt.Printf("%-12s %-10s %6s %12s %12s %10s %9s\n",
 		"model", "device", "batch", "service", "ms/frame", "fps", "speedup")
 	for _, m := range mods {
 		for _, d := range devs {
-			base := device.BatchFPS(m, d, 1, prec)
+			base := device.BatchFPSEng(m, d, 1, prec, eng)
 			for _, n := range sizes {
-				svc := device.PredictBatchMS(m, d, n, prec)
-				fps := device.BatchFPS(m, d, n, prec)
+				svc := device.PredictBatchMSEng(m, d, n, prec, eng)
+				fps := device.BatchFPSEng(m, d, n, prec, eng)
 				fmt.Printf("%-12s %-10s %6d %10.1fms %10.2fms %10.1f %8.2fx\n",
 					m, d, n, svc, svc/float64(n), fps, fps/base)
 			}
@@ -250,7 +275,7 @@ func lookupModel(name string) (models.ID, error) {
 // compatible stage work across the fleet; INT8 precision applies to
 // every stage of every drone (stage-mixed deployments are available
 // through the pipeline.PrecisionPolicy API).
-func fleetMode(drones int, modelFlag, deviceFlag string, frames int, fps float64, seed uint64, bp pipeline.BatchPolicy, prec device.Precision) error {
+func fleetMode(drones int, modelFlag, deviceFlag string, frames int, fps float64, seed uint64, bp pipeline.BatchPolicy, prec device.Precision, eng device.Engine) error {
 	det := models.V8XLarge
 	if modelFlag != "all" {
 		m, err := lookupModel(modelFlag)
@@ -276,6 +301,10 @@ func fleetMode(drones int, modelFlag, deviceFlag string, frames int, fps float64
 	if prec == device.INT8 {
 		pol = pipeline.UniformPrecision(device.INT8, "detect", "pose", "depth")
 	}
+	var engPol pipeline.EnginePolicy
+	if eng == device.Planned {
+		engPol = pipeline.UniformEngine(device.Planned, "detect", "pose", "depth")
+	}
 	sessions := make([]*pipeline.Session, drones)
 	for i := range sessions {
 		sessions[i] = &pipeline.Session{
@@ -286,6 +315,7 @@ func fleetMode(drones int, modelFlag, deviceFlag string, frames int, fps float64
 			Seed: seed + uint64(i)*211, OffsetMS: float64(i) * (1e3 / fps) / float64(drones),
 			Graph:     pipeline.TimingVIPGraph(place),
 			Precision: pol,
+			Engine:    engPol,
 		}
 	}
 	results, err := (&pipeline.Fleet{Sessions: sessions, SharedSeed: seed ^ 0x9e3779b9, Batch: bp}).Run()
@@ -302,8 +332,8 @@ func fleetMode(drones int, modelFlag, deviceFlag string, frames int, fps float64
 	if bp.Enabled() {
 		batching = fmt.Sprintf("micro-batch %d within %.0f ms", bp.MaxBatch, bp.WindowMS)
 	}
-	fmt.Printf("fleet: %d drones @ %.0f FPS, detect=%s on %s %s (%s, %s), aux on per-drone o-nano\n\n",
-		drones, fps, det, sharing, shared, batching, prec)
+	fmt.Printf("fleet: %d drones @ %.0f FPS, detect=%s on %s %s (%s, %s, %s), aux on per-drone o-nano\n\n",
+		drones, fps, det, sharing, shared, batching, prec, eng)
 	fmt.Printf("%-8s %10s %10s %10s %11s %9s\n", "drone", "median", "p95", "max", "deadline%", "dropped%")
 	var all []float64
 	totalDropped, total := 0, 0

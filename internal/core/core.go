@@ -138,6 +138,18 @@ var experiments = map[string]Experiment{
 			return nil
 		},
 	},
+	"ext-plan": {
+		Name: "ext-plan", Desc: "Extension: compiled execution plans vs the interpreter (real engine + Jetson serving)",
+		Run: func(s *Suite, w io.Writer) error {
+			bench.WritePlanEngineStudy(w, bench.RunPlanEngineStudy(s.Scale.Seed))
+			rows, err := bench.RunPlanStudy(s.Scale.Seed)
+			if err != nil {
+				return err
+			}
+			bench.WritePlanStudy(w, rows)
+			return nil
+		},
+	},
 	"ext-quant": {
 		Name: "ext-quant", Desc: "Extension: INT8 quantized serving gain on Jetson-class devices",
 		Run: func(s *Suite, w io.Writer) error {

@@ -83,11 +83,17 @@ type Device struct {
 	// INT8 post-training-quantized inference over the fp32 baseline:
 	// Jetsons route int8 through the tensor cores that carry most of
 	// their rated TOPS, while the workstation GPU reaches int8 via
-	// DP4A-class instructions at a smaller multiple.
+	// DP4A-class instructions at a smaller multiple. PlanGain is the
+	// compute multiplier of compiled-plan execution (see Engine): fused
+	// conv epilogues and arena reuse cut memory sweeps, which pays most
+	// on the bandwidth-starved Jetsons and least on the workstation —
+	// the launch-overhead collapse is modelled separately by
+	// LaunchEngineMS.
 	SustainedEff float64
 	LaunchMS     float64
 	BatchEffCap  float64
 	Int8Gain     float64
+	PlanGain     float64
 }
 
 // Registry returns the specification of a device.
@@ -104,6 +110,7 @@ func Registry(id ID) Device {
 			SustainedEff: 0.105, LaunchMS: 12, BatchEffCap: 0.42,
 			// 64 Ampere tensor cores: INT8 is the headline TOPS figure.
 			Int8Gain: 2.9,
+			PlanGain: 1.15,
 		}
 	case XavierNX:
 		return Device{
@@ -117,6 +124,9 @@ func Registry(id ID) Device {
 			SustainedEff: 0.31, LaunchMS: 18, BatchEffCap: 0.48,
 			// Volta tensor cores lack Ampere's int8 sparsity paths.
 			Int8Gain: 2.4,
+			// 59.7 GB/s memory: eliminating the separate BN + activation
+			// sweeps pays the most here.
+			PlanGain: 1.18,
 		}
 	case OrinNano:
 		return Device{
@@ -127,6 +137,7 @@ func Registry(id ID) Device {
 			ClockGHz: 0.625, MemBWGBs: 68,
 			SustainedEff: 0.335, LaunchMS: 15, BatchEffCap: 0.50,
 			Int8Gain: 2.7,
+			PlanGain: 1.16,
 		}
 	case RTX4090:
 		return Device{
@@ -141,6 +152,8 @@ func Registry(id ID) Device {
 			SustainedEff: 0.195, LaunchMS: 1.5, BatchEffCap: 0.62,
 			// DP4A-class int8: solid but not the Jetson-style 3x headline.
 			Int8Gain: 1.7,
+			// 1 TB/s of bandwidth: epilogue fusion barely registers.
+			PlanGain: 1.06,
 		}
 	default:
 		panic(fmt.Sprintf("device: unknown id %d", int(id)))

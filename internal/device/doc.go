@@ -29,4 +29,15 @@
 // streaming moves half the bytes; Job.Precision routes through
 // Executor and MicroBatcher, which only coalesces same-model,
 // same-precision work.
+//
+// It is also engine-aware: Engine (Interpreted/Planned) models compiled
+// execution plans. Planned inference submits one captured graph instead
+// of per-op launches (LaunchEngineMS keeps only a residue of the
+// calibrated dispatch overhead — the dominant cost on the Jetsons) and
+// earns a modest per-device PlanGain on compute from fused epilogues
+// and arena reuse; PlanCompileMS charges the one-time per-placement
+// compilation schedulers attach to a plan's first job. The *Eng
+// function variants take an explicit engine, Job.Engine and
+// Job.CompileMS thread it through Executor and MicroBatcher, and the
+// zero value replays the interpreted schedule bit-for-bit.
 package device

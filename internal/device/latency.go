@@ -46,11 +46,21 @@ func utilization(id models.ID, d Device) float64 {
 // applies the device's Int8Gain throughput cap, so the Jetsons (whose
 // rated TOPS are mostly int8 tensor-core figures) gain the most.
 func PredictMS(m models.ID, dev ID, prec Precision) float64 {
+	return PredictMSEng(m, dev, prec, Interpreted)
+}
+
+// PredictMSEng is PredictMS with an explicit execution engine: the
+// Planned engine pays the captured-graph launch residue instead of the
+// full per-frame dispatch and gains the device's plan fusion multiple
+// on the compute term (weight traffic is engine-independent — the
+// weights stream either way). Interpreted reproduces PredictMS
+// bit-for-bit.
+func PredictMSEng(m models.ID, dev ID, prec Precision, eng Engine) float64 {
 	d := Registry(dev)
 	stats := models.ComputeStats(m)
-	computeMS := stats.GFLOPs / (d.SustainedGFLOPS() * d.Gain(prec) * utilization(m, d)) * 1e3
+	computeMS := stats.GFLOPs / (d.SustainedGFLOPS() * d.Gain(prec) * d.EngineGain(eng) * utilization(m, d)) * 1e3
 	weightMS := float64(stats.Params*prec.WeightBytes()) / (d.MemBWGBs * 1e9) * 1e3
-	return d.LaunchMS + computeMS + weightMS
+	return d.LaunchEngineMS(eng) + computeMS + weightMS
 }
 
 // BatchEff returns the sustained-efficiency fraction a batch of n
@@ -83,15 +93,22 @@ func (d Device) BatchEff(n int) float64 {
 // levers (int8 raises the per-SM rate, batching raises occupancy).
 // n <= 1 reduces exactly to PredictMS.
 func PredictBatchMS(m models.ID, dev ID, n int, prec Precision) float64 {
+	return PredictBatchMSEng(m, dev, n, prec, Interpreted)
+}
+
+// PredictBatchMSEng is PredictBatchMS with an explicit execution
+// engine, composing the plan gains with batching the same way the
+// precision gain composes (independent levers on launch and compute).
+func PredictBatchMSEng(m models.ID, dev ID, n int, prec Precision, eng Engine) float64 {
 	if n <= 1 {
-		return PredictMS(m, dev, prec)
+		return PredictMSEng(m, dev, prec, eng)
 	}
 	d := Registry(dev)
 	stats := models.ComputeStats(m)
 	sustained := d.PeakGFLOPS() * d.BatchEff(n)
-	computeMS := float64(n) * stats.GFLOPs / (sustained * d.Gain(prec) * utilization(m, d)) * 1e3
+	computeMS := float64(n) * stats.GFLOPs / (sustained * d.Gain(prec) * d.EngineGain(eng) * utilization(m, d)) * 1e3
 	weightMS := float64(stats.Params*prec.WeightBytes()) / (d.MemBWGBs * 1e9) * 1e3
-	return d.LaunchMS + computeMS + weightMS
+	return d.LaunchEngineMS(eng) + computeMS + weightMS
 }
 
 // BatchFPS returns the modelled per-frame throughput when frames are
@@ -103,12 +120,26 @@ func BatchFPS(m models.ID, dev ID, n int, prec Precision) float64 {
 	return float64(n) * 1e3 / PredictBatchMS(m, dev, n, prec)
 }
 
+// BatchFPSEng is BatchFPS with an explicit execution engine.
+func BatchFPSEng(m models.ID, dev ID, n int, prec Precision, eng Engine) float64 {
+	if n < 1 {
+		n = 1
+	}
+	return float64(n) * 1e3 / PredictBatchMSEng(m, dev, n, prec, eng)
+}
+
 // Sample draws n per-frame latency observations around the modelled
 // value at the given precision: log-normal execution jitter plus an
 // occasional straggler frame (page faults, DVFS transitions), matching
 // the spread of the paper's box plots. Deterministic for a given seed.
 func Sample(m models.ID, dev ID, prec Precision, n int, seed uint64) []float64 {
-	base := PredictMS(m, dev, prec)
+	return SampleEng(m, dev, prec, Interpreted, n, seed)
+}
+
+// SampleEng is Sample with an explicit execution engine; the jitter
+// stream depends only on the seed, so engine sweeps stay paired.
+func SampleEng(m models.ID, dev ID, prec Precision, eng Engine, n int, seed uint64) []float64 {
+	base := PredictMSEng(m, dev, prec, eng)
 	r := rng.New(seed)
 	out := make([]float64, n)
 	for i := range out {
@@ -126,8 +157,15 @@ func Sample(m models.ID, dev ID, prec Precision, n int, seed uint64) []float64 {
 // component for the duration of the frame. Shorter int8 frames draw the
 // same power profile for less time, so energy scales with the latency.
 func EnergyPerFrameJ(m models.ID, dev ID, prec Precision) float64 {
+	return EnergyPerFrameJEng(m, dev, prec, Interpreted)
+}
+
+// EnergyPerFrameJEng is EnergyPerFrameJ with an explicit execution
+// engine: shorter planned frames draw the same power profile for less
+// time, so the energy saving tracks the latency saving.
+func EnergyPerFrameJEng(m models.ID, dev ID, prec Precision, eng Engine) float64 {
 	d := Registry(dev)
-	sec := PredictMS(m, dev, prec) / 1e3
+	sec := PredictMSEng(m, dev, prec, eng) / 1e3
 	util := utilization(m, d)
 	watts := d.PeakPowerW * (0.25 + 0.65*util)
 	return watts * sec
@@ -137,6 +175,11 @@ func EnergyPerFrameJ(m models.ID, dev ID, prec Precision) float64 {
 // the given precision.
 func FPS(m models.ID, dev ID, prec Precision) float64 {
 	return 1e3 / PredictMS(m, dev, prec)
+}
+
+// FPSEng is FPS with an explicit execution engine.
+func FPSEng(m models.ID, dev ID, prec Precision, eng Engine) float64 {
+	return 1e3 / PredictMSEng(m, dev, prec, eng)
 }
 
 // CanHost reports whether the model's weights and working set fit the

@@ -9,12 +9,18 @@ import (
 )
 
 // Job is one inference request in the discrete-event simulation. The
-// zero-value Precision is FP32, so jobs that never mention precision
-// replay the pre-quantization schedule bit-for-bit.
+// zero-value Precision is FP32 and the zero-value Engine is
+// Interpreted, so jobs that never mention either replay the historic
+// schedule bit-for-bit. CompileMS is a one-time plan-compilation
+// surcharge the scheduler attaches to the first planned job of a
+// (stage, placement) — it extends that job's service deterministically
+// (no extra jitter draw) and is shared by the whole batch it rides in.
 type Job struct {
 	Model     models.ID
 	ArrivalMS float64
 	Precision Precision
+	Engine    Engine
+	CompileMS float64
 }
 
 // Completion describes a finished job.
@@ -94,8 +100,8 @@ func (e *Executor) Duty() float64 { return e.duty }
 // batch-of-one case of serviceBatchMS, kept as one implementation so
 // the jitter draw sequence can never diverge between the two paths
 // (the MaxBatch=1 bit-parity guarantee depends on it).
-func (e *Executor) serviceMS(m models.ID, prec Precision) float64 {
-	return e.serviceBatchMS(m, prec, 1)
+func (e *Executor) serviceMS(m models.ID, prec Precision, eng Engine) float64 {
+	return e.serviceBatchMS(m, prec, eng, 1)
 }
 
 // expApprox is exp(x) for the small |x| the jitter draws produce.
@@ -109,8 +115,8 @@ func expApprox(x float64) float64 {
 // batched roofline prediction. A batch consumes exactly one jitter
 // tuple regardless of n (and of precision), keeping replays
 // deterministic across precision sweeps.
-func (e *Executor) serviceBatchMS(m models.ID, prec Precision, n int) float64 {
-	base := PredictBatchMS(m, e.Device, n, prec) * e.throttleFactor()
+func (e *Executor) serviceBatchMS(m models.ID, prec Precision, eng Engine, n int) float64 {
+	base := PredictBatchMSEng(m, e.Device, n, prec, eng) * e.throttleFactor()
 	v := base * expApprox(e.rng.NormRange(0, 0.06))
 	if e.rng.Bool(0.03) {
 		v *= e.rng.Range(1.3, 1.9)
@@ -137,7 +143,7 @@ func (e *Executor) Run(jobs []Job) []Completion {
 		if e.busyMS == 0 {
 			idle = 0 // no history before the first job
 		}
-		svc := e.serviceMS(j.Model, j.Precision)
+		svc := e.serviceMS(j.Model, j.Precision, j.Engine) + j.CompileMS
 		c := Completion{Job: j, StartMS: start, ServiceMS: svc, FinishMS: start + svc}
 		e.updateDuty(idle, svc)
 		e.busyMS = c.FinishMS
@@ -162,8 +168,9 @@ func (e *Executor) RunBatch(jobs []Job) []Completion {
 	if len(jobs) == 1 {
 		return e.Run(jobs)
 	}
-	m, prec := jobs[0].Model, jobs[0].Precision
+	m, prec, eng := jobs[0].Model, jobs[0].Precision, jobs[0].Engine
 	start := jobs[0].ArrivalMS
+	compile := 0.0
 	for _, j := range jobs {
 		if j.Model != m {
 			panic(fmt.Sprintf("device: RunBatch mixes models %s and %s", m, j.Model))
@@ -171,8 +178,14 @@ func (e *Executor) RunBatch(jobs []Job) []Completion {
 		if j.Precision != prec {
 			panic(fmt.Sprintf("device: RunBatch mixes precisions %s and %s", prec, j.Precision))
 		}
+		if j.Engine != eng {
+			panic(fmt.Sprintf("device: RunBatch mixes engines %s and %s", eng, j.Engine))
+		}
 		if j.ArrivalMS > start {
 			start = j.ArrivalMS
+		}
+		if j.CompileMS > compile {
+			compile = j.CompileMS
 		}
 	}
 	if e.busyMS > start {
@@ -182,7 +195,7 @@ func (e *Executor) RunBatch(jobs []Job) []Completion {
 	if e.busyMS == 0 {
 		idle = 0
 	}
-	svc := e.serviceBatchMS(m, prec, len(jobs))
+	svc := e.serviceBatchMS(m, prec, eng, len(jobs)) + compile
 	share := svc / float64(len(jobs))
 	out := make([]Completion, len(jobs))
 	for i, j := range jobs {

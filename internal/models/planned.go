@@ -1,0 +1,24 @@
+package models
+
+import "ocularone/internal/nn"
+
+// BuildPlanned builds a model and compiles its execution plan for the
+// given input size, returning both: the network (weights, calibration
+// hooks, the interpreter reference) and the plan that serves it. The
+// plan is also cached on the network, so Forward* wrappers reuse the
+// same compiled program — BuildPlanned just fronts the compile cost at
+// build time instead of on the first frame, the way a deployment
+// pipeline wants it.
+func BuildPlanned(id ID, nc int, seed uint64, h, w int) (*nn.Network, *nn.Plan) {
+	net := Build(id, nc, seed)
+	return net, net.PlanFor(3, h, w)
+}
+
+// BuildQuantizedPlanned is BuildPlanned over the full post-training-
+// quantization recipe: calibrate, quantize, then compile. The returned
+// plan serves both precisions — Execute with nn.INT8 routes quantized
+// convs through the fused int8 kernels, fp32 stays bit-exact.
+func BuildQuantizedPlanned(id ID, nc int, seed uint64, frames, h, w int) (*nn.Network, *nn.Plan) {
+	net := BuildQuantized(id, nc, seed, frames, h, w)
+	return net, net.PlanFor(3, h, w)
+}

@@ -89,52 +89,19 @@ func (a *Attention) Forward(xs []*tensor.Tensor) *tensor.Tensor {
 	return a.proj.Forward([]*tensor.Tensor{out})
 }
 
-// ForwardBatch implements Module: the qkv, positional-encoding, and
-// projection convs run batched; the per-head attention matmuls stay per
-// sample (they are already large dense matmuls with nothing to fuse
-// across samples).
-func (a *Attention) ForwardBatch(xs [][]*tensor.Tensor) []*tensor.Tensor {
-	nb := len(xs)
-	qkvs := a.qkv.ForwardBatch(xs)
-	kd, hd := a.keyDim, a.headDim
-	perHead := 2*kd + hd
-	outs := make([]*tensor.Tensor, nb)
-	vAlls := make([]*tensor.Tensor, nb)
-	for b := range xs {
-		x := xs[b][0]
-		h, w := x.Shape[1], x.Shape[2]
-		n := h * w
-		qkv := qkvs[b]
-		out := tensor.New(a.dim, h, w)
-		for head := 0; head < a.numHeads; head++ {
-			base := head * perHead * n
-			q := tensor.FromSlice(qkv.Data[base:base+kd*n], kd, n)
-			k := tensor.FromSlice(qkv.Data[base+kd*n:base+2*kd*n], kd, n)
-			v := tensor.FromSlice(qkv.Data[base+2*kd*n:base+perHead*n], hd, n)
-			attn := tensor.MatMul(tensor.Transpose(q), k)
-			attn.Scale(a.scale)
-			attn.Softmax()
-			oh := tensor.MatMul(v, tensor.Transpose(attn))
-			copy(out.Data[head*hd*n:(head+1)*hd*n], oh.Data)
-		}
-		vAll := tensor.New(a.dim, h, w)
-		for head := 0; head < a.numHeads; head++ {
-			base := head*perHead*n + 2*kd*n
-			copy(vAll.Data[head*hd*n:(head+1)*hd*n], qkv.Data[base:base+hd*n])
-		}
-		outs[b] = out
-		vAlls[b] = vAll
-	}
-	tensor.Scratch.Put(qkvs...)
-	pes := a.pe.ForwardBatch(batchOf(vAlls))
-	for b, out := range outs {
-		out.Add(pes[b])
-	}
-	tensor.Scratch.Put(vAlls...)
-	tensor.Scratch.Put(pes...)
-	res := a.proj.ForwardBatch(batchOf(outs))
-	tensor.Scratch.Put(outs...)
-	return res
+// Lower implements Module: the qkv, positional-encoding, and
+// projection convs lower to fused conv ops; the per-head attention
+// matmuls become one attnCoreOp with prebound head views and shared
+// matmul scratch.
+func (a *Attention) Lower(pb *planBuilder, ins []planVal) planVal {
+	_, h, w := pb.chw(ins[0])
+	qkv := a.qkv.Lower(pb, ins)
+	out := pb.val(a.dim, h, w)
+	vAll := pb.val(a.dim, h, w)
+	pb.emit(&attnCoreOp{a: a, qkv: qkv, out: out, vAll: vAll, n: h * w})
+	pe := a.pe.Lower(pb, []planVal{vAll})
+	pb.emit(&addOp{dst: out, src: pe})
+	return a.proj.Lower(pb, []planVal{out})
 }
 
 // Params implements Module.
@@ -181,25 +148,18 @@ func (p *PSABlock) Forward(xs []*tensor.Tensor) *tensor.Tensor {
 	return y
 }
 
-// ForwardBatch implements Module.
-func (p *PSABlock) ForwardBatch(xs [][]*tensor.Tensor) []*tensor.Tensor {
-	res := make([]*tensor.Tensor, len(xs))
-	for b := range xs {
-		res[b] = xs[b][0].Clone()
-	}
-	attns := p.attn.ForwardBatch(batchOf(res))
-	for b, r := range res {
-		r.Add(attns[b])
-	}
-	tensor.Scratch.Put(attns...)
-	hid := p.ffn1.ForwardBatch(batchOf(res))
-	ys := p.ffn2.ForwardBatch(batchOf(hid))
-	tensor.Scratch.Put(hid...)
-	for b, y := range ys {
-		y.Add(res[b])
-	}
-	tensor.Scratch.Put(res...)
-	return ys
+// Lower implements Module: the residual snapshot is an arena copy, the
+// two adds mutate in place exactly as the interpreter does.
+func (p *PSABlock) Lower(pb *planBuilder, ins []planVal) planVal {
+	c, h, w := pb.chw(ins[0])
+	res := pb.val(c, h, w)
+	pb.emit(&copyOp{dst: res, src: ins[0]})
+	at := p.attn.Lower(pb, []planVal{res})
+	pb.emit(&addOp{dst: res, src: at})
+	hid := p.ffn1.Lower(pb, []planVal{res})
+	y := p.ffn2.Lower(pb, []planVal{hid})
+	pb.emit(&addOp{dst: y, src: res})
+	return y
 }
 
 // Params implements Module.
@@ -256,38 +216,19 @@ func (b *C2PSA) Forward(xs []*tensor.Tensor) *tensor.Tensor {
 	return b.cv2.Forward([]*tensor.Tensor{tensor.ConcatChannels(a, v)})
 }
 
-// ForwardBatch implements Module.
-func (b *C2PSA) ForwardBatch(xs [][]*tensor.Tensor) []*tensor.Tensor {
-	ys := b.cv1.ForwardBatch(xs)
-	nb := len(ys)
+// Lower implements Module.
+func (b *C2PSA) Lower(pb *planBuilder, ins []planVal) planVal {
+	y := b.cv1.Lower(pb, ins)
 	c := b.hidden
-	as := make([]*tensor.Tensor, nb)
-	vs := make([]*tensor.Tensor, nb)
-	for i, y := range ys {
-		h, w := y.Shape[1], y.Shape[2]
-		as[i] = tensor.FromSlice(y.Data[:c*h*w], c, h, w)
-		vs[i] = tensor.FromSlice(y.Data[c*h*w:], c, h, w)
-	}
-	views := true // vs still aliases ys; don't recycle views
+	_, h, w := pb.chw(y)
+	a := pb.view(y, 0, c, h, w)
+	v := pb.view(y, c*h*w, c, h, w)
 	for _, blk := range b.blocks {
-		next := blk.ForwardBatch(batchOf(vs))
-		if !views {
-			tensor.Scratch.Put(vs...)
-		}
-		vs = next
-		views = false
+		v = blk.Lower(pb, []planVal{v})
 	}
-	cats := make([]*tensor.Tensor, nb)
-	for i := range cats {
-		cats[i] = tensor.ConcatChannels(as[i], vs[i])
-	}
-	tensor.Scratch.Put(ys...)
-	if !views {
-		tensor.Scratch.Put(vs...)
-	}
-	outs := b.cv2.ForwardBatch(batchOf(cats))
-	tensor.Scratch.Put(cats...)
-	return outs
+	cat := pb.val(2*c, h, w)
+	pb.emit(&concatOp{dst: cat, srcs: []planVal{a, v}})
+	return b.cv2.Lower(pb, []planVal{cat})
 }
 
 // Params implements Module.

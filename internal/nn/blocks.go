@@ -40,18 +40,15 @@ func (b *Bottleneck) Forward(xs []*tensor.Tensor) *tensor.Tensor {
 	return y
 }
 
-// ForwardBatch implements Module: both convs run batched; the hidden
-// activation is recycled once consumed.
-func (b *Bottleneck) ForwardBatch(xs [][]*tensor.Tensor) []*tensor.Tensor {
-	mid := b.cv1.ForwardBatch(xs)
-	ys := b.cv2.ForwardBatch(batchOf(mid))
-	tensor.Scratch.Put(mid...)
+// Lower implements Module: two fused convs plus an in-place residual
+// add when the shortcut applies.
+func (b *Bottleneck) Lower(pb *planBuilder, ins []planVal) planVal {
+	mid := b.cv1.Lower(pb, ins)
+	y := b.cv2.Lower(pb, []planVal{mid})
 	if b.shortcut {
-		for i, y := range ys {
-			y.Add(xs[i][0])
-		}
+		pb.emit(&addOp{dst: y, src: ins[0]})
 	}
-	return ys
+	return y
 }
 
 // Params implements Module.
@@ -112,52 +109,32 @@ func (b *C2f) Forward(xs []*tensor.Tensor) *tensor.Tensor {
 	return b.cv2.Forward([]*tensor.Tensor{tensor.ConcatChannels(parts...)})
 }
 
-// ForwardBatch implements Module: the split/concat bookkeeping stays
-// per sample (views are free) while every conv and bottleneck runs over
-// the whole batch.
-func (b *C2f) ForwardBatch(xs [][]*tensor.Tensor) []*tensor.Tensor {
-	return cspForwardBatch(b.cv1, b.cv2, b.hidden, len(b.ms), xs, func(i int, cur []*tensor.Tensor) []*tensor.Tensor {
-		return b.ms[i].ForwardBatch(batchOf(cur))
+// Lower implements Module.
+func (b *C2f) Lower(pb *planBuilder, ins []planVal) planVal {
+	return cspLower(pb, b.cv1, b.cv2, b.hidden, len(b.ms), ins, func(i int, cur planVal) planVal {
+		return b.ms[i].Lower(pb, []planVal{cur})
 	})
 }
 
-// cspForwardBatch is the shared batched forward of the C2f/C3k2 family:
-// cv1, per-sample channel split, a chain of n inner modules over the
-// second half, concat of all parts, cv2. stepFn runs inner module i on
-// the current batch. Intermediates are recycled into tensor.Scratch.
-func cspForwardBatch(cv1, cv2 *Conv, hidden, n int, xs [][]*tensor.Tensor,
-	stepFn func(i int, cur []*tensor.Tensor) []*tensor.Tensor) []*tensor.Tensor {
-	ys := cv1.ForwardBatch(xs)
-	nb := len(ys)
-	// parts[b] collects each sample's concat inputs: the two split views
-	// plus one tensor per inner module.
-	parts := make([][]*tensor.Tensor, nb)
-	cur := make([]*tensor.Tensor, nb)
-	for b, y := range ys {
-		h, w := y.Shape[1], y.Shape[2]
-		y1 := tensor.FromSlice(y.Data[:hidden*h*w], hidden, h, w)
-		y2 := tensor.FromSlice(y.Data[hidden*h*w:], hidden, h, w)
-		parts[b] = append(make([]*tensor.Tensor, 0, 2+n), y1, y2)
-		cur[b] = y2
-	}
+// cspLower is the shared lowering of the C2f/C3k2 family: cv1, a
+// zero-copy channel split (two arena views), a chain of n inner
+// modules over the second half, a concat of all parts, cv2. step
+// lowers inner module i on the current value.
+func cspLower(pb *planBuilder, cv1, cv2 *Conv, hidden, n int, ins []planVal,
+	step func(i int, cur planVal) planVal) planVal {
+	y := cv1.Lower(pb, ins)
+	_, h, w := pb.chw(y)
+	y1 := pb.view(y, 0, hidden, h, w)
+	y2 := pb.view(y, hidden*h*w, hidden, h, w)
+	parts := []planVal{y1, y2}
+	cur := y2
 	for i := 0; i < n; i++ {
-		cur = stepFn(i, cur)
-		for b, t := range cur {
-			parts[b] = append(parts[b], t)
-		}
+		cur = step(i, cur)
+		parts = append(parts, cur)
 	}
-	cats := make([]*tensor.Tensor, nb)
-	for b := range cats {
-		cats[b] = tensor.ConcatChannels(parts[b]...)
-	}
-	// ys covers the y1/y2 views; parts[b][2:] are the chain outputs.
-	tensor.Scratch.Put(ys...)
-	for b := range parts {
-		tensor.Scratch.Put(parts[b][2:]...)
-	}
-	outs := cv2.ForwardBatch(batchOf(cats))
-	tensor.Scratch.Put(cats...)
-	return outs
+	cat := pb.val((2+n)*hidden, h, w)
+	pb.emit(&concatOp{dst: cat, srcs: parts})
+	return cv2.Lower(pb, []planVal{cat})
 }
 
 // Params implements Module.
@@ -221,24 +198,18 @@ func (b *C3) Forward(xs []*tensor.Tensor) *tensor.Tensor {
 	return b.cv3.Forward([]*tensor.Tensor{tensor.ConcatChannels(y1, y2)})
 }
 
-// ForwardBatch implements Module.
-func (b *C3) ForwardBatch(xs [][]*tensor.Tensor) []*tensor.Tensor {
-	y1 := b.cv1.ForwardBatch(xs)
+// Lower implements Module.
+func (b *C3) Lower(pb *planBuilder, ins []planVal) planVal {
+	y1 := b.cv1.Lower(pb, ins)
 	for _, m := range b.ms {
-		next := m.ForwardBatch(batchOf(y1))
-		tensor.Scratch.Put(y1...)
-		y1 = next
+		y1 = m.Lower(pb, []planVal{y1})
 	}
-	y2 := b.cv2.ForwardBatch(xs)
-	cats := make([]*tensor.Tensor, len(xs))
-	for i := range cats {
-		cats[i] = tensor.ConcatChannels(y1[i], y2[i])
-	}
-	tensor.Scratch.Put(y1...)
-	tensor.Scratch.Put(y2...)
-	outs := b.cv3.ForwardBatch(batchOf(cats))
-	tensor.Scratch.Put(cats...)
-	return outs
+	y2 := b.cv2.Lower(pb, ins)
+	c1, h, w := pb.chw(y1)
+	c2, _, _ := pb.chw(y2)
+	cat := pb.val(c1+c2, h, w)
+	pb.emit(&concatOp{dst: cat, srcs: []planVal{y1, y2}})
+	return b.cv3.Lower(pb, []planVal{cat})
 }
 
 // Params implements Module.
@@ -320,10 +291,10 @@ func (b *C3k2) Forward(xs []*tensor.Tensor) *tensor.Tensor {
 	return b.cv2.Forward([]*tensor.Tensor{tensor.ConcatChannels(parts...)})
 }
 
-// ForwardBatch implements Module.
-func (b *C3k2) ForwardBatch(xs [][]*tensor.Tensor) []*tensor.Tensor {
-	return cspForwardBatch(b.cv1, b.cv2, b.hidden, len(b.ms), xs, func(i int, cur []*tensor.Tensor) []*tensor.Tensor {
-		return b.ms[i].ForwardBatch(batchOf(cur))
+// Lower implements Module.
+func (b *C3k2) Lower(pb *planBuilder, ins []planVal) planVal {
+	return cspLower(pb, b.cv1, b.cv2, b.hidden, len(b.ms), ins, func(i int, cur planVal) planVal {
+		return b.ms[i].Lower(pb, []planVal{cur})
 	})
 }
 
@@ -383,22 +354,22 @@ func (b *SPPF) Forward(xs []*tensor.Tensor) *tensor.Tensor {
 	return b.cv2.Forward([]*tensor.Tensor{tensor.ConcatChannels(x, p1, p2, p3)})
 }
 
-// ForwardBatch implements Module: both convs batch; the pooling chain
-// stays per sample (max pooling has no cross-sample fusion to exploit).
-func (b *SPPF) ForwardBatch(xs [][]*tensor.Tensor) []*tensor.Tensor {
-	x := b.cv1.ForwardBatch(xs)
-	cats := make([]*tensor.Tensor, len(x))
-	for i, xi := range x {
-		p1 := tensor.MaxPool2D(xi, b.k, 1, b.k/2)
-		p2 := tensor.MaxPool2D(p1, b.k, 1, b.k/2)
-		p3 := tensor.MaxPool2D(p2, b.k, 1, b.k/2)
-		cats[i] = tensor.ConcatChannels(xi, p1, p2, p3)
-		tensor.Scratch.Put(p1, p2, p3)
+// Lower implements Module: the three chained pools write into their
+// own arena slots; lifetime analysis frees them after the concat.
+func (b *SPPF) Lower(pb *planBuilder, ins []planVal) planVal {
+	x := b.cv1.Lower(pb, ins)
+	c, h, w := pb.chw(x)
+	pool := func(src planVal) planVal {
+		dst := pb.val(c, h, w)
+		pb.emit(&maxPoolOp{dst: dst, src: src, k: b.k, stride: 1, pad: b.k / 2})
+		return dst
 	}
-	tensor.Scratch.Put(x...)
-	outs := b.cv2.ForwardBatch(batchOf(cats))
-	tensor.Scratch.Put(cats...)
-	return outs
+	p1 := pool(x)
+	p2 := pool(p1)
+	p3 := pool(p2)
+	cat := pb.val(4*c, h, w)
+	pb.emit(&concatOp{dst: cat, srcs: []planVal{x, p1, p2, p3}})
+	return b.cv2.Lower(pb, []planVal{cat})
 }
 
 // Params implements Module.
@@ -424,9 +395,12 @@ func (Upsample) Forward(xs []*tensor.Tensor) *tensor.Tensor {
 	return tensor.UpsampleNearest2x(xs[0])
 }
 
-// ForwardBatch implements Module (per-sample: memory-bound, no fusion).
-func (u Upsample) ForwardBatch(xs [][]*tensor.Tensor) []*tensor.Tensor {
-	return forwardEach(u, xs)
+// Lower implements Module.
+func (u Upsample) Lower(pb *planBuilder, ins []planVal) planVal {
+	c, h, w := pb.chw(ins[0])
+	dst := pb.val(c, h*2, w*2)
+	pb.emit(&upsampleOp{dst: dst, src: ins[0]})
+	return dst
 }
 
 // Params implements Module.
@@ -450,9 +424,20 @@ func (Concat) Forward(xs []*tensor.Tensor) *tensor.Tensor {
 	return tensor.ConcatChannels(xs...)
 }
 
-// ForwardBatch implements Module (per-sample: a pure copy).
-func (c Concat) ForwardBatch(xs [][]*tensor.Tensor) []*tensor.Tensor {
-	return forwardEach(c, xs)
+// Lower implements Module.
+func (c Concat) Lower(pb *planBuilder, ins []planVal) planVal {
+	total := 0
+	var h, w int
+	for i, v := range ins {
+		ci, hi, wi := pb.chw(v)
+		if i == 0 {
+			h, w = hi, wi
+		}
+		total += ci
+	}
+	dst := pb.val(total, h, w)
+	pb.emit(&concatOp{dst: dst, srcs: append([]planVal(nil), ins...)})
+	return dst
 }
 
 // Params implements Module.

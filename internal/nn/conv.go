@@ -135,42 +135,6 @@ func (c *Conv) Forward(xs []*tensor.Tensor) *tensor.Tensor {
 	return out
 }
 
-// ForwardBatch implements Module: the whole batch is lowered to one
-// im2col + blocked matmul per group, with BN folding and the activation
-// applied per sample afterwards (elementwise, so order is irrelevant).
-func (c *Conv) ForwardBatch(xs [][]*tensor.Tensor) []*tensor.Tensor {
-	var outs []*tensor.Tensor
-	if c.int8On && c.qw != nil {
-		// As in Forward: quantized convs are always the BN-folded kind.
-		outs = tensor.Conv2DBatchQ(firsts(xs), c.qw, nil, c.spec, c.inScale)
-		for _, o := range outs {
-			tensor.BatchNormInference(o, c.gamma, c.beta, c.mean, c.varnc, 1e-3)
-		}
-	} else if c.useBias {
-		outs = tensor.Conv2DBatch(firsts(xs), c.weight, c.bias, c.spec)
-	} else {
-		outs = tensor.Conv2DBatch(firsts(xs), c.weight, nil, c.spec)
-		for _, o := range outs {
-			tensor.BatchNormInference(o, c.gamma, c.beta, c.mean, c.varnc, 1e-3)
-		}
-	}
-	switch c.act {
-	case ActSiLU:
-		for _, o := range outs {
-			o.SiLU()
-		}
-	case ActReLU:
-		for _, o := range outs {
-			o.ReLU()
-		}
-	case ActSigmoid:
-		for _, o := range outs {
-			o.Sigmoid()
-		}
-	}
-	return outs
-}
-
 // Params implements Module: conv weights plus either bias or the BN
 // affine pair, matching Ultralytics' trainable-parameter accounting.
 func (c *Conv) Params() int64 {

@@ -116,64 +116,36 @@ func (d *Detect) Forward(xs []*tensor.Tensor) *tensor.Tensor {
 	return out
 }
 
-// forwardLevelBatch runs one pyramid level's box and cls branches over
-// the whole batch, returning each sample's [4*RegMax+nc, H, W] map.
-func (d *Detect) forwardLevelBatch(li int, xs []*tensor.Tensor) []*tensor.Tensor {
-	chain := func(convs []*Conv) []*tensor.Tensor {
-		cur, owned := xs, false
+// Lower implements Module: each level's box and cls conv chains lower
+// to fused conv ops, then one assembly op flattens every level into
+// the [4*RegMax+nc, Σanchors] prediction map with the interpreter's
+// exact copy pattern.
+func (d *Detect) Lower(pb *planBuilder, ins []planVal) planVal {
+	if len(ins) != len(d.box) {
+		panic(fmt.Sprintf("nn: detect head got %d inputs, want %d", len(ins), len(d.box)))
+	}
+	rows := 4*RegMax + d.nc
+	op := &detectOp{d: d}
+	chain := func(convs []*Conv, in planVal) planVal {
+		cur := in
 		for _, c := range convs {
-			next := c.ForwardBatch(batchOf(cur))
-			if owned {
-				tensor.Scratch.Put(cur...)
-			}
-			cur, owned = next, true
+			cur = c.Lower(pb, []planVal{cur})
 		}
 		return cur
 	}
-	boxOut := chain(d.box[li])
-	clsOut := chain(d.cls[li])
-	levels := make([]*tensor.Tensor, len(xs))
-	for b := range levels {
-		levels[b] = tensor.ConcatChannels(boxOut[b], clsOut[b])
+	for li, in := range ins {
+		box := chain(d.box[li], in)
+		cls := chain(d.cls[li], in)
+		_, h, w := pb.chw(box)
+		op.boxes = append(op.boxes, box)
+		op.clss = append(op.clss, cls)
+		op.planes = append(op.planes, h*w)
+		op.total += h * w
 	}
-	tensor.Scratch.Put(boxOut...)
-	tensor.Scratch.Put(clsOut...)
-	return levels
-}
-
-// ForwardBatch implements Module: every head conv sees the whole batch;
-// the per-sample flatten/concat assembly matches Forward bit-for-bit.
-func (d *Detect) ForwardBatch(xs [][]*tensor.Tensor) []*tensor.Tensor {
-	nb := len(xs)
-	rows := 4*RegMax + d.nc
-	total := 0
-	for li := range d.box {
-		total += xs[0][li].Shape[1] * xs[0][li].Shape[2]
-	}
-	outs := make([]*tensor.Tensor, nb)
-	for b := range outs {
-		if len(xs[b]) != len(d.box) {
-			panic(fmt.Sprintf("nn: detect head got %d inputs, want %d", len(xs[b]), len(d.box)))
-		}
-		outs[b] = tensor.Scratch.Get(rows, total)
-	}
-	off := 0
-	for li := range d.box {
-		ins := make([]*tensor.Tensor, nb)
-		for b := range xs {
-			ins[b] = xs[b][li]
-		}
-		levels := d.forwardLevelBatch(li, ins)
-		n := ins[0].Shape[1] * ins[0].Shape[2]
-		for b, lv := range levels {
-			for r := 0; r < rows; r++ {
-				copy(outs[b].Data[r*total+off:r*total+off+n], lv.Data[r*n:(r+1)*n])
-			}
-		}
-		tensor.Scratch.Put(levels...)
-		off += n
-	}
-	return outs
+	out := pb.val(rows, op.total)
+	op.out = out
+	pb.emit(op)
+	return out
 }
 
 // Params implements Module.

@@ -9,19 +9,31 @@
 //   - Real forward passes, used by the repository's testing.B benchmarks
 //     to measure genuine CPU inference cost.
 //
-// Every Module implements both Forward (one frame) and ForwardBatch (a
-// batch of frames); Network.ForwardBatch threads a whole batch through
-// the graph so each convolution runs as a single batched im2col+matmul
-// (tensor.Conv2DBatch) and intermediate activations recycle through
-// tensor.Scratch. Batched results are bit-identical to per-frame ones —
-// batching is a throughput lever, never an accuracy trade.
+// Execution is compiled, not interpreted: Compile lowers a Network once
+// per input shape into a Plan — a topologically ordered list of fused
+// primitive ops (conv+BN+activation with the epilogue applied inside
+// the GEMM loop, residual adds, pooling, attention cores, detect
+// assembly) over virtual values — runs activation-lifetime analysis,
+// and assigns every intermediate to a preallocated arena slot
+// (size-classed with tensor.Pool's power-of-two math). One
+// Plan.Execute(xs, ExecOpts{Batch, Precision}) call subsumes what used
+// to be four separate code paths: single-frame, batched (the whole
+// batch lowers to one im2col+GEMM per conv group), fp32, and int8. In
+// steady state Execute performs zero heap allocations per frame.
+//
+// Network.Forward, ForwardBatch, ForwardQuant, and ForwardBatchQuant
+// are thin wrappers over the cached plan. The original node-walking
+// interpreter survives as ForwardInterp/ForwardQuantInterp — the
+// reference the plan parity suite pins against (bit-exact for fp32,
+// bit-exact against the interpreted int8 path for int8) and the pass
+// Calibrate observes activations on.
 //
 // The package also carries the post-training-quantization recipe:
 // Calibrate records per-conv activation ranges, Quantize snapshots
 // symmetric per-channel int8 weights (range-sensitive tails — detect
-// heads, attention, sigmoid feeders — stay fp32), and
-// Network.ForwardQuant/ForwardBatchQuant replay the graph through the
-// int8 kernels with tested drift bounds against fp32.
+// heads, attention, sigmoid feeders — stay fp32), and Plan.Execute at
+// INT8 precision routes quantized convs through the fused int8 kernels
+// with tested drift bounds against fp32.
 //
 // Weights are deterministically initialised (He-style) from a seed; no
 // training happens in this package.

@@ -8,13 +8,15 @@ import (
 
 // This file is the post-training-quantization layer of the NN engine:
 // Calibrate records per-conv activation ranges on a representative
-// frame stream, Quantize snapshots symmetric per-channel int8 weights
-// for every range-safe conv, and Network.ForwardQuant/ForwardBatchQuant
-// replay the ordinary forward graph with those convs routed through the
-// int8 im2col+GEMM kernels. Range-sensitive tails — the detect head's
-// DFL/class logits and the attention blocks' softmax inputs — always
-// stay fp32: their outputs feed exponentials where a single activation
-// quantization step is amplified, and they are a tiny share of FLOPs.
+// frame stream, and Quantize snapshots symmetric per-channel int8
+// weights for every range-safe conv. Execution is the plan's job:
+// Plan.Execute at INT8 precision routes every quantized conv through
+// the fused int8 im2col+GEMM kernels (Network.ForwardQuant and
+// ForwardBatchQuant are thin wrappers over it). Range-sensitive tails
+// — the detect head's DFL/class logits and the attention blocks'
+// softmax inputs — always stay fp32: their outputs feed exponentials
+// where a single activation quantization step is amplified, and they
+// are a tiny share of FLOPs.
 
 // ConvWalker is implemented by every module that owns Conv blocks; it
 // visits each of them exactly once. Modules without convolutions
@@ -69,7 +71,7 @@ func Calibrate(n *Network, frames []*tensor.Tensor) int {
 		count++
 	})
 	for _, f := range frames {
-		n.Forward(f)
+		n.ForwardInterp(f)
 	}
 	forEachConv(n, func(c *Conv) {
 		c.inScale = c.calib.absMax / 127
@@ -135,32 +137,17 @@ func (n *Network) setInt8(on bool) {
 	forEachConv(n, func(c *Conv) { c.int8On = on })
 }
 
-// ForwardQuant evaluates the graph like Forward but routes every
-// quantized conv through the int8 im2col+GEMM kernels; unquantized
-// modules (detect heads, attention, anything Quantize skipped) run
-// fp32 as usual. The network must have been calibrated and quantized.
-// ForwardQuant and Forward may be interleaved freely on the same
-// network, but a Network is not safe for concurrent forward passes.
-func (n *Network) ForwardQuant(x *tensor.Tensor) []*tensor.Tensor {
+// ForwardQuantInterp replays the node-walking interpreter with every
+// quantized conv routed through the unfused int8 kernels — the
+// reference the plan's int8 parity is pinned against. The network must
+// have been calibrated and quantized.
+func (n *Network) ForwardQuantInterp(x *tensor.Tensor) []*tensor.Tensor {
 	if n.QuantizedConvs() == 0 {
-		panic(fmt.Sprintf("nn: ForwardQuant on %q without Quantize (or nothing quantizable)", n.Name))
+		panic(fmt.Sprintf("nn: ForwardQuantInterp on %q without Quantize (or nothing quantizable)", n.Name))
 	}
 	n.setInt8(true)
 	defer n.setInt8(false)
-	return n.Forward(x)
-}
-
-// ForwardBatchQuant is the batched counterpart of ForwardQuant: the
-// whole batch flows through Conv2DBatchQ for quantized convs, with the
-// same activation recycling as ForwardBatch. Results are bit-identical
-// to per-sample ForwardQuant.
-func (n *Network) ForwardBatchQuant(xs []*tensor.Tensor) [][]*tensor.Tensor {
-	if n.QuantizedConvs() == 0 {
-		panic(fmt.Sprintf("nn: ForwardBatchQuant on %q without Quantize (or nothing quantizable)", n.Name))
-	}
-	n.setInt8(true)
-	defer n.setInt8(false)
-	return n.ForwardBatch(xs)
+	return n.ForwardInterp(x)
 }
 
 // SizeBytesINT8 returns the serialized model size with int8 conv

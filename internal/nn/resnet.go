@@ -45,26 +45,18 @@ func (b *BasicBlock) Forward(xs []*tensor.Tensor) *tensor.Tensor {
 	return y
 }
 
-// ForwardBatch implements Module.
-func (b *BasicBlock) ForwardBatch(xs [][]*tensor.Tensor) []*tensor.Tensor {
-	mid := b.cv1.ForwardBatch(xs)
-	ys := b.cv2.ForwardBatch(batchOf(mid))
-	tensor.Scratch.Put(mid...)
+// Lower implements Module: the residual add and trailing ReLU fuse
+// into one in-place op.
+func (b *BasicBlock) Lower(pb *planBuilder, ins []planVal) planVal {
+	mid := b.cv1.Lower(pb, ins)
+	y := b.cv2.Lower(pb, []planVal{mid})
 	if b.down != nil {
-		dn := b.down.ForwardBatch(xs)
-		for i, y := range ys {
-			y.Add(dn[i])
-		}
-		tensor.Scratch.Put(dn...)
+		d := b.down.Lower(pb, ins)
+		pb.emit(&addOp{dst: y, src: d, relu: true})
 	} else {
-		for i, y := range ys {
-			y.Add(xs[i][0])
-		}
+		pb.emit(&addOp{dst: y, src: ins[0], relu: true})
 	}
-	for _, y := range ys {
-		y.ReLU()
-	}
-	return ys
+	return y
 }
 
 // Params implements Module.
@@ -101,9 +93,14 @@ func (m MaxPool) Forward(xs []*tensor.Tensor) *tensor.Tensor {
 	return tensor.MaxPool2D(xs[0], m.K, m.Stride, m.Pad)
 }
 
-// ForwardBatch implements Module (per-sample: no cross-sample fusion).
-func (m MaxPool) ForwardBatch(xs [][]*tensor.Tensor) []*tensor.Tensor {
-	return forwardEach(m, xs)
+// Lower implements Module.
+func (m MaxPool) Lower(pb *planBuilder, ins []planVal) planVal {
+	c, h, w := pb.chw(ins[0])
+	oh := (h+2*m.Pad-m.K)/m.Stride + 1
+	ow := (w+2*m.Pad-m.K)/m.Stride + 1
+	dst := pb.val(c, oh, ow)
+	pb.emit(&maxPoolOp{dst: dst, src: ins[0], k: m.K, stride: m.Stride, pad: m.Pad})
+	return dst
 }
 
 // Params implements Module.

@@ -20,6 +20,14 @@ func DefaultWorkers() int {
 // with very cheap bodies should batch before calling For.
 const minGrain = 64
 
+// Serial reports whether For/ForRange would degrade to an inline loop
+// on the calling goroutine (a single worker). Hot kernels branch on it
+// to run closure-free serial loops: the func literal handed to For is
+// itself a heap allocation at the call site, and eliding it is what
+// lets the plan executor (internal/nn) hold zero allocations per frame
+// on single-core hosts.
+func Serial() bool { return DefaultWorkers() == 1 }
+
 // For executes fn(i) for every i in [0, n) using up to DefaultWorkers()
 // goroutines. It blocks until all iterations complete. fn must be safe for
 // concurrent invocation on distinct indices.

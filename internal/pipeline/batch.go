@@ -157,9 +157,12 @@ func (g *groupRunner) flush() {
 				order = append(order, ex)
 			}
 			q.jobs = append(q.jobs, waveJob{gi: gi, name: name, p: p, ready: ready})
+			prec := fr.env.sess.Precision.PrecisionFor(name)
 			settle(q, q.mb.Offer(device.Job{
 				Model: p.Model, ArrivalMS: ready,
-				Precision: fr.env.sess.Precision.PrecisionFor(name),
+				Precision: prec,
+				Engine:    fr.env.sess.Engine.EngineFor(name),
+				CompileMS: fr.env.planCompile(name, p, prec),
 			}))
 		}
 		for _, ex := range order {

@@ -20,8 +20,14 @@
 //     the per-frame path bit-for-bit.
 //   - PrecisionPolicy (precision.go): per-stage fp32/int8 selection,
 //     composing orthogonally with BatchPolicy (batches group by
-//     executor, model, and precision). An unset or all-FP32 policy
-//     replays the pre-quantization schedule bit-for-bit.
+//     executor, model, precision, and engine). An unset or all-FP32
+//     policy replays the pre-quantization schedule bit-for-bit.
+//   - EnginePolicy (engine.go): per-stage interpreted/planned execution.
+//     A session compiles each planned stage once per placement — the
+//     one-time device.PlanCompileMS surcharge rides on the first job,
+//     the plan is reused across every later frame and batch wave, and a
+//     live re-placement recompiles on the new device. An unset policy
+//     replays the pre-plan schedule bit-for-bit.
 //   - The legacy API (pipeline.go): Run and the placement helpers are
 //     thin wrappers assembling the classic three-stage graph.
 //

@@ -1,0 +1,39 @@
+package pipeline
+
+import "ocularone/internal/device"
+
+// EnginePolicy selects the execution engine each stage's simulated
+// inference runs on, keyed by stage name. Missing entries (and a nil
+// policy) mean Interpreted, so a session that never mentions engines
+// replays the pre-plan schedule bit-for-bit — the same zero-value
+// contract BatchPolicy and PrecisionPolicy keep.
+//
+// Planned stages model the compiled executor (internal/nn Plan):
+// per-frame dispatch collapses to one captured-graph launch and the
+// fused epilogues earn the device's PlanGain on compute. Compilation
+// is not free, though — a session compiles each planned stage once per
+// placement and reuses the plan across every subsequent frame and
+// batch wave; the one-time device.PlanCompileMS surcharge rides on the
+// first planned job, and a live re-placement (PlacementPolicy.Rebind)
+// triggers a recompile on the new device.
+//
+// EnginePolicy composes orthogonally with BatchPolicy and
+// PrecisionPolicy: the batching scheduler coalesces jobs that share an
+// executor, model, precision AND engine, so a fleet of planned int8
+// drones still forms full batches while mixed fleets split cleanly.
+type EnginePolicy map[string]device.Engine
+
+// EngineFor resolves one stage's engine (Interpreted when unset).
+func (p EnginePolicy) EngineFor(stage string) device.Engine {
+	return p[stage] // zero value is Interpreted, also for nil maps
+}
+
+// UniformEngine builds a policy running every named stage on one
+// engine.
+func UniformEngine(eng device.Engine, stages ...string) EnginePolicy {
+	out := make(EnginePolicy, len(stages))
+	for _, s := range stages {
+		out[s] = eng
+	}
+	return out
+}

@@ -60,6 +60,11 @@ type Session struct {
 	// Precision selects per-stage inference precision (nil = all FP32,
 	// the exact pre-quantization schedule). See PrecisionPolicy.
 	Precision PrecisionPolicy
+	// Engine selects per-stage execution engines (nil = all
+	// Interpreted, the exact pre-plan schedule). Planned stages compile
+	// once per placement and reuse the plan across waves; see
+	// EnginePolicy.
+	Engine EnginePolicy
 
 	local *device.Cluster
 }
@@ -106,6 +111,10 @@ type StreamResult struct {
 	DetectionRate float64
 	// Dropped counts frames rejected whole at the graph roots.
 	Dropped int
+	// PlanCompiles counts plan compilations charged to this stream: one
+	// per planned stage placement, plus one per re-placement of a
+	// planned stage.
+	PlanCompiles int
 	// StageSkips counts per-stage policy skips (stale work shed).
 	StageSkips map[string]int
 	// Rebinds counts live placement changes applied by the Placer.
@@ -159,10 +168,16 @@ type execEnv struct {
 	skips   map[string]int
 	drops   int
 	rebinds int
+	// compiled tracks, per planned stage, the placement its plan was
+	// compiled for: the first job after a (re-)placement carries the
+	// one-time compile surcharge, every later frame reuses the plan.
+	compiled map[string]Placement
+	compiles int
 }
 
 func (s *Session) env(shared *device.Cluster) *execEnv {
-	return &execEnv{sess: s, place: s.Graph.Placements(), shared: shared, skips: map[string]int{}}
+	return &execEnv{sess: s, place: s.Graph.Placements(), shared: shared,
+		skips: map[string]int{}, compiled: map[string]Placement{}}
 }
 
 // exFor resolves a device to an executor: edge devices are the drone's
@@ -173,6 +188,23 @@ func (e *execEnv) exFor(d device.ID) *device.Executor {
 		return e.shared.Executor(d)
 	}
 	return e.sess.local.Executor(d)
+}
+
+// planCompile returns the one-time compile surcharge for one stage job:
+// zero for interpreted stages and for planned stages whose current
+// placement already carries a compiled plan. The first planned job of a
+// placement — and the first after any re-placement — pays
+// device.PlanCompileMS and records the placement as compiled.
+func (e *execEnv) planCompile(stage string, p Placement, prec device.Precision) float64 {
+	if e.sess.Engine.EngineFor(stage) != device.Planned {
+		return 0
+	}
+	if cp, ok := e.compiled[stage]; ok && cp == p {
+		return 0
+	}
+	e.compiled[stage] = p
+	e.compiles++
+	return device.PlanCompileMS(p.Model, p.Device, prec)
 }
 
 // rtt charges the network round trip for stages not on the edge device.
@@ -257,6 +289,7 @@ func (e *execEnv) finalize(res *StreamResult) {
 	res.Dropped = e.drops
 	res.StageSkips = e.skips
 	res.Rebinds = e.rebinds
+	res.PlanCompiles = e.compiles
 }
 
 // Run processes the session's feed through its graph: analytics are real

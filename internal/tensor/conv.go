@@ -169,43 +169,71 @@ func im2col(x, cols *Tensor, spec ConvSpec, c0, nc, oh, ow int) {
 	im2colInto(x, cols, spec, c0, nc, oh, ow, 0, oh*ow)
 }
 
+// Im2ColInto exposes the im2col unroll to the plan executor (internal/nn
+// Plan), which owns its cols buffer for the lifetime of a compiled
+// instance instead of cycling it through Scratch. Arguments follow
+// im2colInto.
+func Im2ColInto(x, cols *Tensor, spec ConvSpec, c0, nc, oh, ow, colOff, rowStride int) {
+	im2colInto(x, cols, spec, c0, nc, oh, ow, colOff, rowStride)
+}
+
+// Im2ColQInto is the quantized twin of Im2ColInto: receptive fields are
+// quantized at inverse scale inv while they are unrolled into the int8
+// cols buffer.
+func Im2ColQInto(x *Tensor, cols []int8, inv float32, spec ConvSpec, c0, nc, oh, ow, colOff, rowStride int) {
+	im2colQInto(x, cols, inv, spec, c0, nc, oh, ow, colOff, rowStride)
+}
+
 // im2colInto is im2col writing each unrolled row into cols at column
 // offset colOff, with rowStride columns per cols row — the layout hook
 // that lets a batch of samples share one cols matrix (sample b occupies
 // columns [b*oh*ow, (b+1)*oh*ow)).
 func im2colInto(x, cols *Tensor, spec ConvSpec, c0, nc, oh, ow, colOff, rowStride int) {
+	total := nc * spec.KH * spec.KW
+	if parallel.Serial() {
+		for r := 0; r < total; r++ {
+			im2colRow(x, cols, spec, c0, r, oh, ow, colOff, rowStride)
+		}
+		return
+	}
+	parallel.For(total, func(r int) {
+		im2colRow(x, cols, spec, c0, r, oh, ow, colOff, rowStride)
+	})
+}
+
+// im2colRow unrolls one (channel, ky, kx) row of the cols matrix — the
+// shared worker body of im2colInto.
+func im2colRow(x, cols *Tensor, spec ConvSpec, c0, r, oh, ow, colOff, rowStride int) {
 	h, w := x.Shape[1], x.Shape[2]
 	dh, dw := spec.dil()
-	parallel.For(nc*spec.KH*spec.KW, func(r int) {
-		c := r / (spec.KH * spec.KW)
-		rem := r % (spec.KH * spec.KW)
-		ky := rem / spec.KW
-		kx := rem % spec.KW
-		src := x.Data[(c0+c)*h*w : (c0+c+1)*h*w]
-		dst := cols.Data[r*rowStride+colOff : r*rowStride+colOff+oh*ow]
-		i := 0
-		for oy := 0; oy < oh; oy++ {
-			iy := oy*spec.StrideH - spec.PadH + ky*dh
-			if iy < 0 || iy >= h {
-				for ox := 0; ox < ow; ox++ {
-					dst[i] = 0
-					i++
-				}
-				continue
-			}
-			srow := src[iy*w : (iy+1)*w]
-			ix := -spec.PadW + kx*dw
+	c := r / (spec.KH * spec.KW)
+	rem := r % (spec.KH * spec.KW)
+	ky := rem / spec.KW
+	kx := rem % spec.KW
+	src := x.Data[(c0+c)*h*w : (c0+c+1)*h*w]
+	dst := cols.Data[r*rowStride+colOff : r*rowStride+colOff+oh*ow]
+	i := 0
+	for oy := 0; oy < oh; oy++ {
+		iy := oy*spec.StrideH - spec.PadH + ky*dh
+		if iy < 0 || iy >= h {
 			for ox := 0; ox < ow; ox++ {
-				if ix >= 0 && ix < w {
-					dst[i] = srow[ix]
-				} else {
-					dst[i] = 0
-				}
+				dst[i] = 0
 				i++
-				ix += spec.StrideW
 			}
+			continue
 		}
-	})
+		srow := src[iy*w : (iy+1)*w]
+		ix := -spec.PadW + kx*dw
+		for ox := 0; ox < ow; ox++ {
+			if ix >= 0 && ix < w {
+				dst[i] = srow[ix]
+			} else {
+				dst[i] = 0
+			}
+			i++
+			ix += spec.StrideW
+		}
+	}
 }
 
 // MaxPool2D applies kxk max pooling with the given stride to x [C,H,W].

@@ -5,20 +5,34 @@
 //
 // The design goal is a small, allocation-conscious engine fast enough to
 // run scaled-down YOLO-style networks on CPU for the repository's
-// benchmarks, not a general autograd framework. All kernels parallelise
-// across rows/channels with internal/parallel.
+// benchmarks, not a general autograd framework. Kernels parallelise
+// across rows/channels with internal/parallel, and every hot kernel
+// carries a closure-free serial branch (parallel.Serial) so single-core
+// execution allocates nothing.
 //
-// Two mechanisms serve the batched hot path:
+// Three mechanisms serve the inference hot path:
 //
+//   - Fused epilogues (fused.go): MatMulEpilogueInto and
+//     MatMulInt8EpilogueInto finish each GEMM row band with the folded
+//     BatchNorm affine (or conv bias) and the activation while the band
+//     is cache-hot, eliminating the separate full-tensor BN and
+//     activation sweeps. Their float32 op sequences replicate the
+//     unfused kernels exactly, so fused results are bit-identical. The
+//     Into variants of pooling/upsampling/concat/transpose write into
+//     caller-owned buffers — the forms the plan executor (internal/nn
+//     Plan) binds against its arena.
 //   - Conv2DBatch lowers a whole batch of same-shape inputs to one
 //     im2col + blocked matmul per group, so the weights stream through
-//     the cache once per batch instead of once per frame. Per-column
-//     accumulation order matches Conv2D, making batched results
-//     bit-identical to per-frame ones.
+//     the cache once per batch instead of once per frame (per-column
+//     accumulation order matches Conv2D, so batched results are
+//     bit-identical to per-frame ones). It is the standalone batched
+//     kernel; the plan executor's conv ops use the same staging but go
+//     through the fused epilogues and the arena instead.
 //   - Pool (and the package-level Scratch pool) recycles backing slices
-//     by power-of-two class; conv scratch, batched outputs, and nn
-//     module intermediates cycle through it so steady-state inference
-//     allocates almost nothing.
+//     by power-of-two class (SizeClass — the same math the plan arena
+//     rounds its slots with); conv scratch, batched outputs, and nn
+//     intermediates cycle through it so steady-state inference
+//     allocates almost nothing even off the compiled path.
 //
 // Beside the fp32 plane sits an INT8 quantized one: QTensor carries
 // int8 data with per-channel scales, MatMulInt8Into is a register-

@@ -26,7 +26,7 @@ func MatMul(a, b *Tensor) *Tensor {
 // MatMulInto computes dst = A × B, reusing dst's storage. dst must have
 // shape m×n and is overwritten.
 func MatMulInto(dst, a, b *Tensor) {
-	m, k := a.Shape[0], a.Shape[1]
+	m := a.Shape[0]
 	n := b.Shape[1]
 	if dst.Shape[0] != m || dst.Shape[1] != n {
 		panic(fmt.Sprintf("tensor: MatMulInto dst shape %v, want [%d %d]", dst.Shape, m, n))
@@ -34,27 +34,40 @@ func MatMulInto(dst, a, b *Tensor) {
 	for i := range dst.Data {
 		dst.Data[i] = 0
 	}
-	const kBlock = 256
+	if parallel.Serial() {
+		matMulRange(dst, a, b, 0, m)
+		return
+	}
 	parallel.ForRange(m, func(lo, hi int) {
-		for k0 := 0; k0 < k; k0 += kBlock {
-			k1 := k0 + kBlock
-			if k1 > k {
-				k1 = k
-			}
-			for i := lo; i < hi; i++ {
-				arow := a.Data[i*k : (i+1)*k]
-				crow := dst.Data[i*n : (i+1)*n]
-				for kk := k0; kk < k1; kk++ {
-					av := arow[kk]
-					if av == 0 {
-						continue
-					}
-					brow := b.Data[kk*n : (kk+1)*n]
-					axpy(av, brow, crow)
+		matMulRange(dst, a, b, lo, hi)
+	})
+}
+
+// matMulRange accumulates rows [lo, hi) of dst = A × B with the
+// cache-blocked ikj loop. It is the shared worker body of MatMulInto
+// and the fused-epilogue kernels.
+func matMulRange(dst, a, b *Tensor, lo, hi int) {
+	k := a.Shape[1]
+	n := b.Shape[1]
+	const kBlock = 256
+	for k0 := 0; k0 < k; k0 += kBlock {
+		k1 := k0 + kBlock
+		if k1 > k {
+			k1 = k
+		}
+		for i := lo; i < hi; i++ {
+			arow := a.Data[i*k : (i+1)*k]
+			crow := dst.Data[i*n : (i+1)*n]
+			for kk := k0; kk < k1; kk++ {
+				av := arow[kk]
+				if av == 0 {
+					continue
 				}
+				brow := b.Data[kk*n : (kk+1)*n]
+				axpy(av, brow, crow)
 			}
 		}
-	})
+	}
 }
 
 // axpy computes y += a*x over equal-length slices. Kept as a separate

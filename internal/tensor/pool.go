@@ -42,6 +42,12 @@ func classFor(n int) uint {
 	return c
 }
 
+// SizeClass exposes the pool's power-of-two class index for a buffer of
+// n elements (ceil log2). The plan executor's arena (internal/nn Plan)
+// rounds its activation slots with the same math, so slot reuse and
+// pool binning can never diverge.
+func SizeClass(n int) uint { return classFor(n) }
+
 // floorClass returns the largest class index a buffer of the given
 // capacity fully covers (floor log2) — the Put-side counterpart of
 // classFor, shared by Pool and BytePool so the binning rules can never

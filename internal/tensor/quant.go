@@ -339,38 +339,51 @@ func int8TileGeneric(acc []int32, a, b []int8, i0, rows, j0, nb, k, n int) {
 // unroll so the fp32 cols matrix never materialises. Zero padding maps
 // to quantized 0 (the symmetric zero-point).
 func im2colQInto(x *Tensor, cols []int8, inv float32, spec ConvSpec, c0, nc, oh, ow, colOff, rowStride int) {
+	total := nc * spec.KH * spec.KW
+	if parallel.Serial() {
+		for r := 0; r < total; r++ {
+			im2colQRow(x, cols, inv, spec, c0, r, oh, ow, colOff, rowStride)
+		}
+		return
+	}
+	parallel.For(total, func(r int) {
+		im2colQRow(x, cols, inv, spec, c0, r, oh, ow, colOff, rowStride)
+	})
+}
+
+// im2colQRow unrolls and quantizes one cols row — the shared worker
+// body of im2colQInto.
+func im2colQRow(x *Tensor, cols []int8, inv float32, spec ConvSpec, c0, r, oh, ow, colOff, rowStride int) {
 	h, w := x.Shape[1], x.Shape[2]
 	dh, dw := spec.dil()
-	parallel.For(nc*spec.KH*spec.KW, func(r int) {
-		c := r / (spec.KH * spec.KW)
-		rem := r % (spec.KH * spec.KW)
-		ky := rem / spec.KW
-		kx := rem % spec.KW
-		src := x.Data[(c0+c)*h*w : (c0+c+1)*h*w]
-		dst := cols[r*rowStride+colOff : r*rowStride+colOff+oh*ow]
-		i := 0
-		for oy := 0; oy < oh; oy++ {
-			iy := oy*spec.StrideH - spec.PadH + ky*dh
-			if iy < 0 || iy >= h {
-				for ox := 0; ox < ow; ox++ {
-					dst[i] = 0
-					i++
-				}
-				continue
-			}
-			srow := src[iy*w : (iy+1)*w]
-			ix := -spec.PadW + kx*dw
+	c := r / (spec.KH * spec.KW)
+	rem := r % (spec.KH * spec.KW)
+	ky := rem / spec.KW
+	kx := rem % spec.KW
+	src := x.Data[(c0+c)*h*w : (c0+c+1)*h*w]
+	dst := cols[r*rowStride+colOff : r*rowStride+colOff+oh*ow]
+	i := 0
+	for oy := 0; oy < oh; oy++ {
+		iy := oy*spec.StrideH - spec.PadH + ky*dh
+		if iy < 0 || iy >= h {
 			for ox := 0; ox < ow; ox++ {
-				if ix >= 0 && ix < w {
-					dst[i] = quantizeRound(srow[ix], inv, 0)
-				} else {
-					dst[i] = 0
-				}
+				dst[i] = 0
 				i++
-				ix += spec.StrideW
 			}
+			continue
 		}
-	})
+		srow := src[iy*w : (iy+1)*w]
+		ix := -spec.PadW + kx*dw
+		for ox := 0; ox < ow; ox++ {
+			if ix >= 0 && ix < w {
+				dst[i] = quantizeRound(srow[ix], inv, 0)
+			} else {
+				dst[i] = 0
+			}
+			i++
+			ix += spec.StrideW
+		}
+	}
 }
 
 // convQScales returns the fused requantization scales of one group:

@@ -206,25 +206,35 @@ func (t *Tensor) Softmax() {
 	}
 	w := t.Shape[len(t.Shape)-1]
 	rows := len(t.Data) / w
+	if parallel.Serial() {
+		for r := 0; r < rows; r++ {
+			softmaxRow(t.Data[r*w : (r+1)*w])
+		}
+		return
+	}
 	parallel.For(rows, func(r int) {
-		row := t.Data[r*w : (r+1)*w]
-		m := row[0]
-		for _, v := range row[1:] {
-			if v > m {
-				m = v
-			}
-		}
-		var sum float32
-		for i, v := range row {
-			e := float32(math.Exp(float64(v - m)))
-			row[i] = e
-			sum += e
-		}
-		inv := 1 / sum
-		for i := range row {
-			row[i] *= inv
-		}
+		softmaxRow(t.Data[r*w : (r+1)*w])
 	})
+}
+
+// softmaxRow normalises one row — the shared worker body of Softmax.
+func softmaxRow(row []float32) {
+	m := row[0]
+	for _, v := range row[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	var sum float32
+	for i, v := range row {
+		e := float32(math.Exp(float64(v - m)))
+		row[i] = e
+		sum += e
+	}
+	inv := 1 / sum
+	for i := range row {
+		row[i] *= inv
+	}
 }
 
 // Equal reports whether t and o match elementwise within tol.
