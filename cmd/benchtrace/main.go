@@ -1,0 +1,136 @@
+// Command benchtrace records the machine-readable kernel performance
+// trajectory of the repository: it re-runs the headline testing.B
+// benchmarks (the GEMM/conv kernels and the end-to-end network forward
+// passes), parses their output, folds in the compiled-plan arena
+// geometry, and writes one JSON document (BENCH_PR<n>.json at the repo
+// root by convention). Future PRs regenerate the file with a bumped
+// -pr flag and diff it against the committed predecessors, so the
+// perf trajectory is a reviewable artifact instead of prose.
+//
+// Usage:
+//
+//	go run ./cmd/benchtrace                 # writes BENCH_PR5.json
+//	go run ./cmd/benchtrace -pr 6 -count 3  # next PR, median of 3
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"time"
+
+	"ocularone/internal/models"
+)
+
+// headline is the benchmark set every trajectory snapshot must cover:
+// the kernel micro-benchmarks the PR acceptance bars are written
+// against, plus the network-level forwards they feed.
+const headline = "BenchmarkMatMul512$|BenchmarkMatMulYOLO$|BenchmarkMatMulInt8$|" +
+	"BenchmarkConv2D$|BenchmarkConv2DInt8$|BenchmarkMatVec$|BenchmarkTranspose$|" +
+	"BenchmarkNNForwardYOLOv8NanoCPU$|BenchmarkNNForwardBatchYOLOv8NanoCPU$|" +
+	"BenchmarkNNForwardQuantYOLOv8NanoCPU$|BenchmarkNNPlanExecuteYOLOv8NanoCPU$|" +
+	"BenchmarkNNForwardTRTPoseCPU$"
+
+// benchResult is one parsed testing.B line (median over -count runs).
+type benchResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// trajectory is the BENCH_PR<n>.json document.
+type trajectory struct {
+	PR          int                    `json:"pr"`
+	GeneratedAt string                 `json:"generated_at"`
+	GoVersion   string                 `json:"go_version"`
+	GOARCH      string                 `json:"goarch"`
+	GOMAXPROCS  int                    `json:"gomaxprocs"`
+	Benchmarks  []benchResult          `json:"benchmarks"`
+	Plans       []models.PlanFootprint `json:"plan_footprints"`
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:\s+(\d+) B/op\s+(\d+) allocs/op)?`)
+
+func main() {
+	var (
+		pr        = flag.Int("pr", 5, "PR number for the output file name and document")
+		out       = flag.String("out", "", "output path (default BENCH_PR<n>.json)")
+		benchRe   = flag.String("bench", headline, "benchmark regexp handed to go test -bench")
+		benchTime = flag.String("benchtime", "1s", "go test -benchtime per benchmark")
+		count     = flag.Int("count", 1, "go test -count; the median ns/op per benchmark is recorded")
+	)
+	flag.Parse()
+	path := *out
+	if path == "" {
+		path = fmt.Sprintf("BENCH_PR%d.json", *pr)
+	}
+
+	cmd := exec.Command("go", "test", "-run=NONE",
+		"-bench="+*benchRe, "-benchmem", "-benchtime="+*benchTime,
+		"-count="+strconv.Itoa(*count), ".")
+	cmd.Stderr = os.Stderr
+	raw, err := cmd.Output()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchtrace: go test: %v\n", err)
+		os.Exit(1)
+	}
+
+	samples := map[string][]benchResult{}
+	var order []string
+	for _, line := range regexp.MustCompile(`\r?\n`).Split(string(raw), -1) {
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		r := benchResult{Name: m[1]}
+		r.NsPerOp, _ = strconv.ParseFloat(m[2], 64)
+		if m[3] != "" {
+			r.BytesPerOp, _ = strconv.ParseInt(m[3], 10, 64)
+			r.AllocsPerOp, _ = strconv.ParseInt(m[4], 10, 64)
+		}
+		if _, seen := samples[r.Name]; !seen {
+			order = append(order, r.Name)
+		}
+		samples[r.Name] = append(samples[r.Name], r)
+	}
+	if len(order) == 0 {
+		fmt.Fprintln(os.Stderr, "benchtrace: no benchmark lines parsed")
+		os.Exit(1)
+	}
+
+	doc := trajectory{
+		PR:          *pr,
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOARCH:      runtime.GOARCH,
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+	}
+	for _, name := range order {
+		rs := samples[name]
+		sort.Slice(rs, func(i, j int) bool { return rs[i].NsPerOp < rs[j].NsPerOp })
+		doc.Benchmarks = append(doc.Benchmarks, rs[len(rs)/2])
+	}
+	for _, id := range []models.ID{models.V8Nano, models.V8Medium, models.V11Nano} {
+		doc.Plans = append(doc.Plans, models.MeasurePlanFootprint(id, 96, 96))
+	}
+
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchtrace: marshal: %v\n", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchtrace: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchtrace: wrote %s (%d benchmarks, %d plan footprints)\n",
+		path, len(doc.Benchmarks), len(doc.Plans))
+}

@@ -178,6 +178,10 @@ func engineMode(modelFlag string, n int, seed uint64, prec device.Precision, eng
 	}
 	if eng == device.Planned {
 		plan = net.PlanFor(3, h, w)
+		slots, arena := plan.Slots()
+		cols, big := plan.ScratchPerSample()
+		fmt.Printf("plan: %d ops, %d arena slots (%d KB/sample), %d KB reference-conv scratch\n",
+			plan.Ops(), slots, arena*4/1024, (cols+big)*4/1024)
 	}
 	r := rng.New(seed ^ 0xf00d)
 	x := tensor.New(3, h, w)

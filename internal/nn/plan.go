@@ -130,6 +130,17 @@ func (p *Plan) Slots() (n int, floatsPerSample int) {
 	return len(p.slotClass), floatsPerSample
 }
 
+// ScratchPerSample reports the shared kernel scratch an instance binds
+// per sample: cols is the materialised-im2col buffer (floats), big the
+// batched staging buffer. Since packed implicit-im2col convolutions
+// need neither, only the convs still on the reference lowering
+// (depthwise and other tiny groups) size these — the compile-time
+// evidence that implicit GEMM shrank the arena (recorded per PR in
+// BENCH_PR5.json / BENCHMARKS.md).
+func (p *Plan) ScratchPerSample() (cols, big int) {
+	return p.colsPerSample, p.bigPerSample
+}
+
 // planInst is one bound executable: arena slabs, prebound tensor
 // headers for every (value, sample), and the step closures.
 type planInst struct {
@@ -463,10 +474,14 @@ type convOp struct {
 	in, out planVal
 	oh, ow  int
 	ep      tensor.Epilogue
-	wslices []*tensor.Tensor // per-group fp32 weight views
+	wslices []*tensor.Tensor  // per-group fp32 weight views (reference path)
+	wpk     []*tensor.PackedA // per-group packed weights, built at compile time
+	// (nil when the group shape is too small for the packed kernel)
 
 	// Lazy int8 state (weights may quantize after compilation).
 	qws      []*tensor.QTensor // per-group int8 weight views
+	qpk      []*tensor.PackedQ // per-group packed int8 weights (with wpk)
+	qpkSrc   *tensor.QTensor   // the qw snapshot qws/qpk were built from
 	qrs      []float32         // fused requant scales (wScale × inScale)
 	qrsScale float32           // inScale the cached qrs was built for
 }
@@ -489,15 +504,28 @@ func lowerConv(b *planBuilder, c *Conv, in planVal) planVal {
 	ocg := c.spec.OutC / groups
 	k := icg * c.spec.KH * c.spec.KW
 	op := &convOp{c: c, in: in, out: out, oh: oh, ow: ow, ep: bnEpilogue(c)}
-	op.wslices = make([]*tensor.Tensor, groups)
-	for g := 0; g < groups; g++ {
-		op.wslices[g] = tensor.FromSlice(c.weight.Data[g*ocg*k:(g+1)*ocg*k], ocg, k)
-	}
-	if need := k * oh * ow; need > b.p.colsPerSample {
-		b.p.colsPerSample = need
-	}
-	if need := ocg * oh * ow; need > b.p.bigPerSample {
-		b.p.bigPerSample = need
+	if tensor.UsePackedGEMM(ocg, k, oh*ow) {
+		// Pack the weights once, here at compile time; the packed panels
+		// live on the op for the plan's lifetime and the implicit-im2col
+		// kernel needs no cols or staging scratch at all.
+		op.wpk = make([]*tensor.PackedA, groups)
+		for g := 0; g < groups; g++ {
+			op.wpk[g] = tensor.PackWeights(tensor.FromSlice(c.weight.Data[g*ocg*k:(g+1)*ocg*k], ocg, k))
+		}
+	} else {
+		// Reference lowering keeps its per-group weight views and its
+		// materialised-cols (+ batch staging) scratch; only these convs
+		// size the shared buffers.
+		op.wslices = make([]*tensor.Tensor, groups)
+		for g := 0; g < groups; g++ {
+			op.wslices[g] = tensor.FromSlice(c.weight.Data[g*ocg*k:(g+1)*ocg*k], ocg, k)
+		}
+		if need := k * oh * ow; need > b.p.colsPerSample {
+			b.p.colsPerSample = need
+		}
+		if need := ocg * oh * ow; need > b.p.bigPerSample {
+			b.p.bigPerSample = need
+		}
 	}
 	b.emit(op)
 	return out
@@ -512,21 +540,33 @@ func (op *convOp) operands() ([]planVal, []planVal) {
 	return []planVal{op.in}, []planVal{op.out}
 }
 
-// qBind lazily builds the per-group int8 weight views and the fused
-// requantization scales, rebuilt if recalibration moved the input
-// scale. One-time allocations outside the steady-state path.
+// qBind lazily builds the per-group int8 weight state and the fused
+// requantization scales. The weight views and packed panels depend
+// only on the quantized weight tensor, so they rebuild only when a
+// re-Quantize swaps c.qw; the requant scales also track the
+// calibrated input scale. One-time allocations outside the
+// steady-state path.
 func (op *convOp) qBind(groups, ocg, k int) {
 	c := op.c
-	if op.qws != nil && op.qrsScale == c.inScale {
+	if op.qpkSrc == c.qw && op.qrsScale == c.inScale {
 		return
 	}
-	op.qws = make([]*tensor.QTensor, groups)
-	for g := 0; g < groups; g++ {
-		op.qws[g] = &tensor.QTensor{
-			Shape:  []int{ocg, k},
-			Data:   c.qw.Data[g*ocg*k : (g+1)*ocg*k],
-			Scales: nil,
+	if op.qpkSrc != c.qw {
+		op.qws = make([]*tensor.QTensor, groups)
+		for g := 0; g < groups; g++ {
+			op.qws[g] = &tensor.QTensor{
+				Shape:  []int{ocg, k},
+				Data:   c.qw.Data[g*ocg*k : (g+1)*ocg*k],
+				Scales: nil,
+			}
 		}
+		if op.wpk != nil {
+			op.qpk = make([]*tensor.PackedQ, groups)
+			for g := 0; g < groups; g++ {
+				op.qpk[g] = tensor.PackWeightsQ(c.qw.Data[g*ocg*k:(g+1)*ocg*k], ocg, k)
+			}
+		}
+		op.qpkSrc = c.qw
 	}
 	op.qrs = make([]float32, c.spec.OutC)
 	for oc := range op.qrs {
@@ -547,10 +587,15 @@ func (op *convOp) bind(inst *planInst) stepFn {
 	k := icg * spec.KH * spec.KW
 	plane := op.oh * op.ow
 	nb := inst.nb
-	cols := tensor.FromSlice(inst.colsF.Data[:k*nb*plane], k, nb*plane)
-	var big *tensor.Tensor
-	if nb > 1 {
-		big = tensor.FromSlice(inst.bigF.Data[:ocg*nb*plane], ocg, nb*plane)
+	packed := op.wpk != nil
+	// The reference lowering stages through the shared cols (+ big)
+	// buffers; the packed implicit-im2col path needs neither.
+	var cols, big *tensor.Tensor
+	if !packed {
+		cols = tensor.FromSlice(inst.colsF.Data[:k*nb*plane], k, nb*plane)
+		if nb > 1 {
+			big = tensor.FromSlice(inst.bigF.Data[:ocg*nb*plane], ocg, nb*plane)
+		}
 	}
 	// Per-sample, per-group destination views for the direct (nb == 1)
 	// path; the batched path stages through big and scatters.
@@ -569,6 +614,25 @@ func (op *convOp) bind(inst *planInst) stepFn {
 
 	return func(int8Mode bool) {
 		use8 := int8Mode && c.qw != nil
+		if packed {
+			if use8 {
+				op.qBind(groups, ocg, k)
+				inv := 1 / c.inScale
+				for g := 0; g < groups; g++ {
+					rs := op.qrs[g*ocg : (g+1)*ocg]
+					for s := 0; s < nb; s++ {
+						tensor.ConvPackedQInto(dsts[s][g], op.qpk[g], ins[s], spec, g*icg, oh, ow, inv, rs, op.ep, g*ocg)
+					}
+				}
+				return
+			}
+			for g := 0; g < groups; g++ {
+				for s := 0; s < nb; s++ {
+					tensor.ConvPackedInto(dsts[s][g], op.wpk[g], ins[s], spec, g*icg, oh, ow, op.ep, g*ocg)
+				}
+			}
+			return
+		}
 		if use8 {
 			if colsQ == nil {
 				colsQ = &tensor.QTensor{Shape: []int{k, nb * plane}, Data: inst.ensureColsB()[:k*nb*plane]}

@@ -1,61 +1,42 @@
 package tensor
 
-import "sync"
-
 // BytePool recycles int8 backing slices for the quantized inference
-// path, mirroring Pool's power-of-two size classes. Quantized im2col
-// scratch and int8 GEMM operands cycle through it, so steady-state INT8
-// inference allocates as little as the fp32 path.
+// path, sharing Pool's generic core (rawPool): the same power-of-two
+// size classes and the same 64-byte alignment guarantee (the int8 GEMM
+// micro-kernel loads packed panels with aligned 16-byte vector moves).
+// Quantized im2col scratch and int8 GEMM operands cycle through it, so
+// steady-state INT8 inference allocates as little as the fp32 path.
 //
 // Slices returned by Get carry *uninitialised* data — callers must
-// overwrite every element they read back. Put accepts any slice but the
-// caller must guarantee nothing else aliases it.
+// overwrite every element they read back. Put accepts any slice
+// (misaligned ones are re-aligned on the way in) but the caller must
+// guarantee nothing else aliases it.
 //
 // BytePool is safe for concurrent use.
 type BytePool struct {
-	mu   sync.Mutex
-	free map[uint][][]int8
+	raw rawPool[int8]
 }
 
 // NewBytePool creates an empty int8 buffer pool.
 func NewBytePool() *BytePool {
-	return &BytePool{free: map[uint][][]int8{}}
+	return &BytePool{raw: newRawPool[int8]()}
 }
 
 // ScratchB is the package-level byte pool the int8 kernels draw from —
 // the quantized twin of Scratch.
 var ScratchB = NewBytePool()
 
-// Get returns an int8 slice of length n backed by a recycled buffer
-// when one is available, or a fresh allocation otherwise. The data is
-// NOT zeroed.
+// Get returns a 64-byte-aligned int8 slice of length n backed by a
+// recycled buffer when one is available, or a fresh allocation
+// otherwise. The data is NOT zeroed.
 func (p *BytePool) Get(n int) []int8 {
-	cls := classFor(n)
-	p.mu.Lock()
-	bufs := p.free[cls]
-	var data []int8
-	if len(bufs) > 0 {
-		data = bufs[len(bufs)-1]
-		p.free[cls] = bufs[:len(bufs)-1]
-	}
-	p.mu.Unlock()
-	if data == nil {
-		data = make([]int8, 1<<cls)
-	}
-	return data[:n]
+	return p.raw.get(n)
 }
 
 // Put returns slices to the pool for reuse, binned by the floor class
-// their capacity fully covers (as Pool.Put). Nil and zero-capacity
-// slices are ignored; the caller must not touch a slice after Put.
+// their capacity fully covers (as Pool.Put) after re-aligning the
+// start. Nil and zero-capacity slices are ignored; the caller must not
+// touch a slice after Put.
 func (p *BytePool) Put(bs ...[]int8) {
-	p.mu.Lock()
-	for _, b := range bs {
-		if cap(b) == 0 {
-			continue
-		}
-		cls := floorClass(cap(b))
-		p.free[cls] = append(p.free[cls], b[:0])
-	}
-	p.mu.Unlock()
+	p.raw.put(bs...)
 }

@@ -41,9 +41,28 @@ func (s ConvSpec) OutSize(h, w int) (int, int) {
 
 // Conv2D applies the convolution described by spec to input x [inC,H,W]
 // with weights w [outC, inC/groups, kH, kW] and optional bias [outC]
-// (nil for none). The implementation lowers to im2col + matmul per group,
-// the standard approach for CPU inference engines.
+// (nil for none). Large-enough groups run the implicit-im2col packed
+// GEMM (pack.go) — receptive fields are gathered panel by panel
+// straight into the micro-kernel, so no full cols matrix is ever
+// materialised; small groups (depthwise, tiny heads) keep the
+// reference im2col + matmul lowering. Both produce bit-identical
+// results.
 func Conv2D(x, w, bias *Tensor, spec ConvSpec) *Tensor {
+	out, _ := conv2DImpl(x, w, bias, spec, false)
+	return out
+}
+
+// conv2DRef is the retained reference lowering — materialised im2col +
+// matmul per group — that the implicit-im2col parity tests pin
+// against.
+func conv2DRef(x, w, bias *Tensor, spec ConvSpec) *Tensor {
+	out, _ := conv2DImpl(x, w, bias, spec, true)
+	return out
+}
+
+// conv2DImpl is the shared body of Conv2D and conv2DRef; it reports
+// whether the packed path ran (for tests).
+func conv2DImpl(x, w, bias *Tensor, spec ConvSpec, forceRef bool) (*Tensor, bool) {
 	if x.Rank() != 3 {
 		panic(fmt.Sprintf("tensor: Conv2D input rank %d, want 3 (CHW)", x.Rank()))
 	}
@@ -66,19 +85,31 @@ func Conv2D(x, w, bias *Tensor, spec ConvSpec) *Tensor {
 
 	icg := spec.InC / groups  // in channels per group
 	ocg := spec.OutC / groups // out channels per group
-	cols := Scratch.Get(icg*spec.KH*spec.KW, oh*ow)
+	k := icg * spec.KH * spec.KW
+	plane := oh * ow
+	if !forceRef && UsePackedGEMM(ocg, k, plane) {
+		ap := Scratch.GetRaw(packALen(ocg, k))
+		for g := 0; g < groups; g++ {
+			packATo(ap, w.Data[g*ocg*k:(g+1)*ocg*k], ocg, k)
+			dst := FromSlice(out.Data[g*ocg*plane:(g+1)*ocg*plane], ocg, plane)
+			gemmStripesF32(dst.Data, ocg, plane, k,
+				ap, f32ConvB{x: x, spec: spec, c0: g * icg, oh: oh, ow: ow}, Epilogue{}, 0)
+		}
+		Scratch.PutRaw(ap)
+		addBias(out.Data, bias, spec.OutC, plane)
+		return out, true
+	}
+	cols := Scratch.Get(k, plane)
 	for g := 0; g < groups; g++ {
 		im2col(x, cols, spec, g*icg, icg, oh, ow)
 		// Weight slice for this group: [ocg, icg*KH*KW].
-		wslice := FromSlice(
-			w.Data[g*ocg*icg*spec.KH*spec.KW:(g+1)*ocg*icg*spec.KH*spec.KW],
-			ocg, icg*spec.KH*spec.KW)
-		dst := FromSlice(out.Data[g*ocg*oh*ow:(g+1)*ocg*oh*ow], ocg, oh*ow)
+		wslice := FromSlice(w.Data[g*ocg*k:(g+1)*ocg*k], ocg, k)
+		dst := FromSlice(out.Data[g*ocg*plane:(g+1)*ocg*plane], ocg, plane)
 		MatMulInto(dst, wslice, cols)
 	}
 	Scratch.Put(cols)
-	addBias(out.Data, bias, spec.OutC, oh*ow)
-	return out
+	addBias(out.Data, bias, spec.OutC, plane)
+	return out, false
 }
 
 // Conv2DBatch applies one convolution to a batch of same-shape CHW

@@ -1,43 +1,65 @@
 // Package tensor implements dense float32 tensors and the numerical
-// kernels used by the neural-network inference engine: blocked parallel
-// matrix multiplication, im2col convolution (single-frame and batched),
-// pooling, and elementwise activations.
+// kernels used by the neural-network inference engine: a packed,
+// register-blocked GEMM core with implicit-im2col convolution
+// (single-frame and batched), pooling, and elementwise activations.
 //
-// The design goal is a small, allocation-conscious engine fast enough to
-// run scaled-down YOLO-style networks on CPU for the repository's
+// The design goal is a small, allocation-conscious engine fast enough
+// to run scaled-down YOLO-style networks on CPU for the repository's
 // benchmarks, not a general autograd framework. Kernels parallelise
-// across rows/channels with internal/parallel, and every hot kernel
-// carries a closure-free serial branch (parallel.Serial) so single-core
-// execution allocates nothing.
+// across GEMM column slivers or rows/channels with internal/parallel,
+// and every hot kernel carries a closure-free serial branch
+// (parallel.Serial) so single-core execution allocates nothing.
 //
-// Three mechanisms serve the inference hot path:
+// The matrix-multiply core (pack.go, packq.go, gemm_amd64.s) is a
+// BLIS-style packed GEMM: the left operand packs into MR-row
+// micro-panels (once at plan-compile time for conv weights —
+// PackWeights/PackWeightsQ), the right operand packs one KC×NR panel
+// at a time into L1-resident 64-byte-aligned scratch, and a
+// register-blocked micro-kernel (4×8 fp32 tile in SSE assembly on
+// amd64; a 4×8 int32 tile over PMADDWD pairs for int8; pure-Go twins
+// elsewhere) streams the panels. For convolutions the panel pack IS
+// im2col (ConvPackedInto/ConvPackedQInto gather — and for int8,
+// quantize — receptive fields directly), so the k×n cols matrix never
+// materialises. Shapes too small to amortise packing (UsePackedGEMM)
+// fall back to the retained reference kernels, which also serve as
+// the golden parity baseline: every packed path accumulates each
+// output element with the reference's exact ascending-k
+// multiply-then-add chain, so packed and reference results are
+// bit-identical (pinned in pack_test.go at adversarial shapes).
+//
+// Three further mechanisms serve the inference hot path:
 //
 //   - Fused epilogues (fused.go): MatMulEpilogueInto and
-//     MatMulInt8EpilogueInto finish each GEMM row band with the folded
-//     BatchNorm affine (or conv bias) and the activation while the band
-//     is cache-hot, eliminating the separate full-tensor BN and
+//     MatMulInt8EpilogueInto finish each GEMM stripe with the folded
+//     BatchNorm affine (or conv bias) and the activation while it is
+//     cache-hot, eliminating the separate full-tensor BN and
 //     activation sweeps. Their float32 op sequences replicate the
 //     unfused kernels exactly, so fused results are bit-identical. The
 //     Into variants of pooling/upsampling/concat/transpose write into
 //     caller-owned buffers — the forms the plan executor (internal/nn
 //     Plan) binds against its arena.
 //   - Conv2DBatch lowers a whole batch of same-shape inputs to one
-//     im2col + blocked matmul per group, so the weights stream through
-//     the cache once per batch instead of once per frame (per-column
-//     accumulation order matches Conv2D, so batched results are
-//     bit-identical to per-frame ones). It is the standalone batched
-//     kernel; the plan executor's conv ops use the same staging but go
-//     through the fused epilogues and the arena instead.
-//   - Pool (and the package-level Scratch pool) recycles backing slices
-//     by power-of-two class (SizeClass — the same math the plan arena
-//     rounds its slots with); conv scratch, batched outputs, and nn
-//     intermediates cycle through it so steady-state inference
-//     allocates almost nothing even off the compiled path.
+//     im2col + blocked matmul per group (per-column accumulation order
+//     matches Conv2D, so batched results are bit-identical to
+//     per-frame ones). It remains the standalone batched reference;
+//     the plan executor's conv ops run the packed implicit-im2col
+//     kernel per sample instead, which amortises weight streaming
+//     within a single frame.
+//   - Pool (and the package-level Scratch pool) recycles backing
+//     slices by power-of-two class (SizeClass — the same math the plan
+//     arena rounds its slots with) and guarantees 64-byte-aligned
+//     starts, so packed-panel loads never split a cache line.
+//     GetRaw/PutRaw hand out bare slices without Tensor headers for
+//     the GEMM drivers' panel scratch; conv scratch, batched outputs,
+//     and nn intermediates cycle through the same pool, so
+//     steady-state inference allocates nothing even off the compiled
+//     path.
 //
 // Beside the fp32 plane sits an INT8 quantized one: QTensor carries
-// int8 data with per-channel scales, MatMulInt8Into is a register-
-// blocked int8 GEMM with int32 accumulation and a fused requantization
-// epilogue (~1.9x the fp32 kernel at YOLO conv shapes), Conv2DQ and
-// Conv2DBatchQ lower quantized convolutions through a quantizing
-// im2col, and ScratchB (a BytePool) recycles the int8 scratch.
+// int8 data with per-channel scales, MatMulInt8Into routes large
+// shapes through the packed PMADDWD kernel (reference 4-row tiles
+// retained for small ones) with int32 accumulation and a fused
+// requantization epilogue, Conv2DQ lowers quantized convolutions
+// through the implicit quantizing im2col, and ScratchB (a BytePool,
+// same alignment guarantee) recycles the int8 scratch.
 package tensor

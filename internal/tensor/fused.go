@@ -44,9 +44,20 @@ type Epilogue struct {
 
 // apply finishes rows [r0, r1) of a GEMM result laid out as rows of
 // width w, where GEMM row r corresponds to epilogue channel chanOff+r.
+// It is applyCols over the full width, so row-band (reference) and
+// column-stripe (packed) application share one op sequence and cannot
+// drift apart.
 func (ep Epilogue) apply(data []float32, r0, r1, w, chanOff int) {
+	ep.applyCols(data, r0, r1, w, 0, w, chanOff)
+}
+
+// applyCols finishes the column stripe [j0, j1) of rows [r0, r1) — the
+// per-stripe form the packed GEMM driver uses once a stripe's k loop
+// completes. The per-element float32 ops are identical to apply's, so
+// stripe-wise and row-wise application agree bit for bit.
+func (ep Epilogue) applyCols(data []float32, r0, r1, w, j0, j1, chanOff int) {
 	for r := r0; r < r1; r++ {
-		row := data[r*w : (r+1)*w]
+		row := data[r*w+j0 : r*w+j1]
 		c := chanOff + r
 		if ep.Scale != nil {
 			scale, shift := ep.Scale[c], ep.Shift[c]
@@ -89,6 +100,10 @@ func MatMulEpilogueInto(dst, a, b *Tensor, ep Epilogue, chanOff int) {
 	if dst.Shape[0] != m || dst.Shape[1] != n {
 		panic(fmt.Sprintf("tensor: MatMulEpilogueInto dst shape %v, want [%d %d]", dst.Shape, m, n))
 	}
+	if UsePackedGEMM(m, a.Shape[1], n) {
+		matMulPackedInto(dst, a, b, ep, chanOff)
+		return
+	}
 	for i := range dst.Data {
 		dst.Data[i] = 0
 	}
@@ -127,6 +142,10 @@ func MatMulInt8EpilogueInto(dst *Tensor, a, b *QTensor, rowScale []float32, ep E
 	}
 	if len(rowScale) != m {
 		panic(fmt.Sprintf("tensor: MatMulInt8EpilogueInto %d row scales for %d rows", len(rowScale), m))
+	}
+	if UsePackedGEMM(m, k, n) {
+		matMulInt8PackedInto(dst, a, b, rowScale, ep, chanOff)
+		return
 	}
 	if parallel.Serial() {
 		var acc [4 * qnBlock]int32

@@ -1,0 +1,159 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func gemm4x8(c *float32, ldc int, a, b *float32, kc int, accum uintptr)
+//
+// 4×8 fp32 register tile: X0..X7 hold the accumulators (row r in
+// X(2r), X(2r+1)), X8/X9 the streamed B panel pair, X10 the A panel
+// quad, X11/X12 broadcast and product temps. MULPS/ADDPS only — SSE
+// has no FMA, which is exactly what keeps each lane's rounding
+// identical to the scalar reference kernel.
+TEXT ·gemm4x8(SB), NOSPLIT, $0-48
+	MOVQ c+0(FP), DI
+	MOVQ ldc+8(FP), SI
+	MOVQ a+16(FP), AX
+	MOVQ b+24(FP), BX
+	MOVQ kc+32(FP), CX
+	MOVQ accum+40(FP), DX
+	SHLQ $2, SI                // row stride in bytes
+	LEAQ (DI)(SI*1), R8        // row 1
+	LEAQ (R8)(SI*1), R9        // row 2
+	LEAQ (R9)(SI*1), R10       // row 3
+	TESTQ DX, DX
+	JZ   zero
+	MOVUPS (DI), X0
+	MOVUPS 16(DI), X1
+	MOVUPS (R8), X2
+	MOVUPS 16(R8), X3
+	MOVUPS (R9), X4
+	MOVUPS 16(R9), X5
+	MOVUPS (R10), X6
+	MOVUPS 16(R10), X7
+	JMP  loop
+zero:
+	XORPS X0, X0
+	XORPS X1, X1
+	XORPS X2, X2
+	XORPS X3, X3
+	XORPS X4, X4
+	XORPS X5, X5
+	XORPS X6, X6
+	XORPS X7, X7
+loop:
+	MOVAPS (BX), X8            // B[k, 0:4]
+	MOVAPS 16(BX), X9          // B[k, 4:8]
+	MOVAPS (AX), X10           // A[0:4, k]
+	PSHUFD $0x00, X10, X11     // broadcast a0
+	MOVAPS X8, X12
+	MULPS  X11, X12
+	ADDPS  X12, X0
+	MULPS  X9, X11
+	ADDPS  X11, X1
+	PSHUFD $0x55, X10, X11     // broadcast a1
+	MOVAPS X8, X12
+	MULPS  X11, X12
+	ADDPS  X12, X2
+	MULPS  X9, X11
+	ADDPS  X11, X3
+	PSHUFD $0xAA, X10, X11     // broadcast a2
+	MOVAPS X8, X12
+	MULPS  X11, X12
+	ADDPS  X12, X4
+	MULPS  X9, X11
+	ADDPS  X11, X5
+	PSHUFD $0xFF, X10, X11     // broadcast a3
+	MULPS  X11, X8             // B lo is dead after this k step
+	ADDPS  X8, X6
+	MULPS  X9, X11
+	ADDPS  X11, X7
+	ADDQ $16, AX
+	ADDQ $32, BX
+	DECQ CX
+	JNZ  loop
+	MOVUPS X0, (DI)
+	MOVUPS X1, 16(DI)
+	MOVUPS X2, (R8)
+	MOVUPS X3, 16(R8)
+	MOVUPS X4, (R9)
+	MOVUPS X5, 16(R9)
+	MOVUPS X6, (R10)
+	MOVUPS X7, 16(R10)
+	RET
+
+// func gemmQ4x8(acc *int32, a *int16, b *int8, k2 int)
+//
+// 4×8 int8→int32 register tile over pair-interleaved panels: each
+// k-pair step sign-extends 16 packed B bytes to two int16 vectors
+// (PUNPCK*BW + PSRAW), broadcasts each row's pre-extended int16 weight
+// pair, and folds two k steps per lane with PMADDWD — integer math, so
+// the pairing is exact and order-free.
+TEXT ·gemmQ4x8(SB), NOSPLIT, $0-32
+	MOVQ acc+0(FP), DI
+	MOVQ a+8(FP), AX
+	MOVQ b+16(FP), BX
+	MOVQ k2+24(FP), CX
+	PXOR X0, X0
+	PXOR X1, X1
+	PXOR X2, X2
+	PXOR X3, X3
+	PXOR X4, X4
+	PXOR X5, X5
+	PXOR X6, X6
+	PXOR X7, X7
+qloop:
+	MOVO (BX), X8              // 8 columns × 2 k, int8
+	MOVO X8, X9
+	PUNPCKLBW X8, X8           // cols 0..3 pairs → words
+	PSRAW $8, X8               // sign-extend
+	PUNPCKHBW X9, X9           // cols 4..7 pairs
+	PSRAW $8, X9
+	MOVL (AX), R11             // row 0 weight pair (int16×2)
+	MOVQ R11, X10
+	PSHUFD $0x00, X10, X10
+	MOVO X8, X11
+	PMADDWL X10, X11
+	PADDL X11, X0
+	MOVO X9, X11
+	PMADDWL X10, X11
+	PADDL X11, X1
+	MOVL 4(AX), R11            // row 1
+	MOVQ R11, X10
+	PSHUFD $0x00, X10, X10
+	MOVO X8, X11
+	PMADDWL X10, X11
+	PADDL X11, X2
+	MOVO X9, X11
+	PMADDWL X10, X11
+	PADDL X11, X3
+	MOVL 8(AX), R11            // row 2
+	MOVQ R11, X10
+	PSHUFD $0x00, X10, X10
+	MOVO X8, X11
+	PMADDWL X10, X11
+	PADDL X11, X4
+	MOVO X9, X11
+	PMADDWL X10, X11
+	PADDL X11, X5
+	MOVL 12(AX), R11           // row 3
+	MOVQ R11, X10
+	PSHUFD $0x00, X10, X10
+	MOVO X8, X11
+	PMADDWL X10, X11
+	PADDL X11, X6
+	MOVO X9, X11
+	PMADDWL X10, X11
+	PADDL X11, X7
+	ADDQ $16, AX
+	ADDQ $16, BX
+	DECQ CX
+	JNZ  qloop
+	MOVOU X0, (DI)
+	MOVOU X1, 16(DI)
+	MOVOU X2, 32(DI)
+	MOVOU X3, 48(DI)
+	MOVOU X4, 64(DI)
+	MOVOU X5, 80(DI)
+	MOVOU X6, 96(DI)
+	MOVOU X7, 112(DI)
+	RET

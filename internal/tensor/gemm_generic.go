@@ -1,0 +1,67 @@
+//go:build !amd64
+
+package tensor
+
+import "unsafe"
+
+// sliceFrom rebuilds a length-n slice over the packed-panel pointer
+// arguments the assembly kernels take.
+func sliceFrom[T any](p *T, n int) []T {
+	return unsafe.Slice(p, n)
+}
+
+// Pure-Go micro-kernels for non-amd64 platforms. They replay the exact
+// per-element op chains of the assembly kernels (one multiply and one
+// add per k step, ascending k), so packed results stay bit-identical
+// to the reference kernel on every architecture.
+
+// gemm4x8 accumulates a 4×8 fp32 tile of C from packed panels; see
+// gemm_amd64.go for the contract.
+func gemm4x8(c *float32, ldc int, a, b *float32, kc int, accum uintptr) {
+	cs := sliceFrom(c, 3*ldc+gemmNR)
+	as := sliceFrom(a, kc*gemmMR)
+	bs := sliceFrom(b, kc*gemmNR)
+	var acc [gemmMR * gemmNR]float32
+	if accum != 0 {
+		for r := 0; r < gemmMR; r++ {
+			copy(acc[r*gemmNR:(r+1)*gemmNR], cs[r*ldc:r*ldc+gemmNR])
+		}
+	}
+	for kk := 0; kk < kc; kk++ {
+		ak := as[kk*gemmMR : kk*gemmMR+gemmMR]
+		bk := bs[kk*gemmNR : kk*gemmNR+gemmNR]
+		for r := 0; r < gemmMR; r++ {
+			av := ak[r]
+			ar := acc[r*gemmNR : (r+1)*gemmNR]
+			for j, bv := range bk {
+				ar[j] += av * bv
+			}
+		}
+	}
+	for r := 0; r < gemmMR; r++ {
+		copy(cs[r*ldc:r*ldc+gemmNR], acc[r*gemmNR:(r+1)*gemmNR])
+	}
+}
+
+// gemmQ4x8 computes a 4×8 int32 tile from int8 pair-interleaved
+// panels; see gemm_amd64.go for the contract.
+func gemmQ4x8(acc *int32, a *int16, b *int8, k2 int) {
+	accs := sliceFrom(acc, 4*gemmNR)
+	as := sliceFrom(a, k2*8)
+	bs := sliceFrom(b, k2*16)
+	for i := range accs[:4*gemmNR] {
+		accs[i] = 0
+	}
+	for kk := 0; kk < k2; kk++ {
+		ap := as[kk*8 : kk*8+8]
+		bp := bs[kk*16 : kk*16+16]
+		for r := 0; r < 4; r++ {
+			a0 := int32(ap[r*2])
+			a1 := int32(ap[r*2+1])
+			ar := accs[r*gemmNR : (r+1)*gemmNR]
+			for j := 0; j < gemmNR; j++ {
+				ar[j] += a0*int32(bp[j*2]) + a1*int32(bp[j*2+1])
+			}
+		}
+	}
+}

@@ -24,13 +24,27 @@ func MatMul(a, b *Tensor) *Tensor {
 }
 
 // MatMulInto computes dst = A × B, reusing dst's storage. dst must have
-// shape m×n and is overwritten.
+// shape m×n and is overwritten. Large shapes run the packed
+// register-blocked kernel (pack.go); small ones keep the reference
+// ikj loop — both produce bit-identical results.
 func MatMulInto(dst, a, b *Tensor) {
-	m := a.Shape[0]
+	m, k := a.Shape[0], a.Shape[1]
 	n := b.Shape[1]
 	if dst.Shape[0] != m || dst.Shape[1] != n {
 		panic(fmt.Sprintf("tensor: MatMulInto dst shape %v, want [%d %d]", dst.Shape, m, n))
 	}
+	if UsePackedGEMM(m, k, n) {
+		matMulPackedInto(dst, a, b, Epilogue{}, 0)
+		return
+	}
+	matMulRefInto(dst, a, b)
+}
+
+// matMulRefInto is the retained reference path: zero dst, then the
+// row-band-parallel blocked ikj loop. The packed kernel's golden
+// parity tests pin against it.
+func matMulRefInto(dst, a, b *Tensor) {
+	m := a.Shape[0]
 	for i := range dst.Data {
 		dst.Data[i] = 0
 	}
@@ -59,12 +73,11 @@ func matMulRange(dst, a, b *Tensor, lo, hi int) {
 			arow := a.Data[i*k : (i+1)*k]
 			crow := dst.Data[i*n : (i+1)*n]
 			for kk := k0; kk < k1; kk++ {
-				av := arow[kk]
-				if av == 0 {
-					continue
-				}
+				// No zero-skip branch here: on dense YOLO activations the
+				// sparsity test mispredicts far more than it saves, and
+				// adding a·0 leaves every finite result bit-identical.
 				brow := b.Data[kk*n : (kk+1)*n]
-				axpy(av, brow, crow)
+				axpy(arow[kk], brow, crow)
 			}
 		}
 	}

@@ -42,10 +42,12 @@ func TestPoolClassRoundTrip(t *testing.T) {
 // TestPoolPutFloorsForeignCapacity pins the floor-class rule for
 // tensors that did not come from the pool: a backing slice whose
 // capacity is not a power of two is binned one class down, so Get can
-// never hand out a buffer shorter than the class it serves.
+// never hand out a buffer shorter than the class it serves. The
+// foreign buffer is pre-aligned so the marker survives Put's
+// re-alignment of arbitrary slices.
 func TestPoolPutFloorsForeignCapacity(t *testing.T) {
 	p := NewPool()
-	raw := make([]float32, 100) // floor class 6 (64), not class 7 (128)
+	raw := alignedSlice[float32](100) // floor class 6 (64), not class 7 (128)
 	raw[0] = 7
 	p.Put(FromSlice(raw, 100))
 

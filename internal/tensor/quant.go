@@ -217,6 +217,10 @@ func MatMulInt8Into(dst *Tensor, a, b *QTensor, rowScale []float32) {
 	if len(rowScale) != m {
 		panic(fmt.Sprintf("tensor: MatMulInt8Into %d row scales for %d rows", len(rowScale), m))
 	}
+	if UsePackedGEMM(m, k, n) {
+		matMulInt8PackedInto(dst, a, b, rowScale, Epilogue{}, 0)
+		return
+	}
 	parallel.ForRange(m, func(lo, hi int) {
 		acc := make([]int32, 4*qnBlock)
 		for i0 := lo; i0 < hi; i0 += 4 {
@@ -398,12 +402,26 @@ func convQScales(w *QTensor, xScale float32, g, ocg int) []float32 {
 }
 
 // Conv2DQ is the int8 counterpart of Conv2D: input x [inC,H,W] is
-// quantized at the calibrated activation scale xScale during im2col,
-// weights w carry symmetric per-channel int8 values, and the int8 GEMM
-// accumulates in int32 with the dequantizing epilogue fused in. The
-// int8 cols scratch comes from ScratchB; output is fp32 [outC,oh,ow],
-// directly comparable to Conv2D's.
+// quantized at the calibrated activation scale xScale while receptive
+// fields are packed (implicit, quantizing im2col for large-enough
+// groups; the materialised reference lowering for small ones), weights
+// w carry symmetric per-channel int8 values, and the int8 GEMM
+// accumulates in int32 with the dequantizing epilogue fused in.
+// Output is fp32 [outC,oh,ow], directly comparable to Conv2D's; both
+// lowerings are bit-identical.
 func Conv2DQ(x *Tensor, w *QTensor, bias *Tensor, spec ConvSpec, xScale float32) *Tensor {
+	return conv2DQImpl(x, w, bias, spec, xScale, false)
+}
+
+// conv2DQRef is the retained reference lowering (materialised
+// quantizing im2col + int8 tile GEMM) the implicit-path parity tests
+// pin against.
+func conv2DQRef(x *Tensor, w *QTensor, bias *Tensor, spec ConvSpec, xScale float32) *Tensor {
+	return conv2DQImpl(x, w, bias, spec, xScale, true)
+}
+
+// conv2DQImpl is the shared body of Conv2DQ and conv2DQRef.
+func conv2DQImpl(x *Tensor, w *QTensor, bias *Tensor, spec ConvSpec, xScale float32, forceRef bool) *Tensor {
 	if x.Rank() != 3 {
 		panic(fmt.Sprintf("tensor: Conv2DQ input rank %d, want 3 (CHW)", x.Rank()))
 	}
@@ -429,19 +447,36 @@ func Conv2DQ(x *Tensor, w *QTensor, bias *Tensor, spec ConvSpec, xScale float32)
 
 	icg := spec.InC / groups
 	ocg := spec.OutC / groups
+	k := icg * spec.KH * spec.KW
+	plane := oh * ow
 	inv := 1 / xScale
-	cols := ScratchB.Get(icg * spec.KH * spec.KW * oh * ow)
-	colsQ := QFromSlice(cols, nil, icg*spec.KH*spec.KW, oh*ow)
+	if !forceRef && UsePackedGEMM(ocg, k, plane) {
+		// Implicit, quantizing im2col: receptive fields quantize straight
+		// into the packed B slivers — the int8 cols matrix never exists.
+		ap := scratchW.get(packQLen(ocg, k))
+		for g := 0; g < groups; g++ {
+			packQTo(ap, w.Data[g*ocg*k:(g+1)*ocg*k], ocg, k)
+			dst := FromSlice(out.Data[g*ocg*plane:(g+1)*ocg*plane], ocg, plane)
+			gemmStripesQ(dst.Data, ocg, plane, k, ap,
+				qConvB{x: x, inv: inv, spec: spec, c0: g * icg, k: k, oh: oh, ow: ow},
+				convQScales(w, xScale, g, ocg), Epilogue{}, 0)
+		}
+		scratchW.put(ap)
+		addBias(out.Data, bias, spec.OutC, plane)
+		return out
+	}
+	cols := ScratchB.Get(k * plane)
+	colsQ := QFromSlice(cols, nil, k, plane)
 	for g := 0; g < groups; g++ {
-		im2colQInto(x, cols, inv, spec, g*icg, icg, oh, ow, 0, oh*ow)
+		im2colQInto(x, cols, inv, spec, g*icg, icg, oh, ow, 0, plane)
 		wslice := QFromSlice(
-			w.Data[g*ocg*icg*spec.KH*spec.KW:(g+1)*ocg*icg*spec.KH*spec.KW],
-			nil, ocg, icg*spec.KH*spec.KW)
-		dst := FromSlice(out.Data[g*ocg*oh*ow:(g+1)*ocg*oh*ow], ocg, oh*ow)
+			w.Data[g*ocg*k:(g+1)*ocg*k],
+			nil, ocg, k)
+		dst := FromSlice(out.Data[g*ocg*plane:(g+1)*ocg*plane], ocg, plane)
 		MatMulInt8Into(dst, wslice, colsQ, convQScales(w, xScale, g, ocg))
 	}
 	ScratchB.Put(cols)
-	addBias(out.Data, bias, spec.OutC, oh*ow)
+	addBias(out.Data, bias, spec.OutC, plane)
 	return out
 }
 
