@@ -7,10 +7,15 @@
 // -pr flag and diff it against the committed predecessors, so the
 // perf trajectory is a reviewable artifact instead of prose.
 //
+// Since PR 6 the document also carries the serving trajectory: the
+// internal/serve event-core benchmarks and the offered-load curve from
+// the ext-serve study (goodput / p99 / shed per rho), so scheduling
+// regressions show up in the same reviewable artifact as kernel ones.
+//
 // Usage:
 //
-//	go run ./cmd/benchtrace                 # writes BENCH_PR5.json
-//	go run ./cmd/benchtrace -pr 6 -count 3  # next PR, median of 3
+//	go run ./cmd/benchtrace                 # writes BENCH_PR6.json
+//	go run ./cmd/benchtrace -pr 7 -count 3  # next PR, median of 3
 package main
 
 import (
@@ -25,7 +30,9 @@ import (
 	"strconv"
 	"time"
 
+	"ocularone/internal/bench"
 	"ocularone/internal/models"
+	"ocularone/internal/serve"
 )
 
 // headline is the benchmark set every trajectory snapshot must cover:
@@ -35,7 +42,12 @@ const headline = "BenchmarkMatMul512$|BenchmarkMatMulYOLO$|BenchmarkMatMulInt8$|
 	"BenchmarkConv2D$|BenchmarkConv2DInt8$|BenchmarkMatVec$|BenchmarkTranspose$|" +
 	"BenchmarkNNForwardYOLOv8NanoCPU$|BenchmarkNNForwardBatchYOLOv8NanoCPU$|" +
 	"BenchmarkNNForwardQuantYOLOv8NanoCPU$|BenchmarkNNPlanExecuteYOLOv8NanoCPU$|" +
-	"BenchmarkNNForwardTRTPoseCPU$"
+	"BenchmarkNNForwardTRTPoseCPU$|BenchmarkCalQueue$|BenchmarkServeSteadyState$"
+
+// benchPkgs are the packages the headline benchmarks live in: the root
+// harness for kernels and network forwards, internal/serve for the
+// event core and steady-state serving loop.
+var benchPkgs = []string{".", "./internal/serve"}
 
 // benchResult is one parsed testing.B line (median over -count runs).
 type benchResult struct {
@@ -54,17 +66,19 @@ type trajectory struct {
 	GOMAXPROCS  int                    `json:"gomaxprocs"`
 	Benchmarks  []benchResult          `json:"benchmarks"`
 	Plans       []models.PlanFootprint `json:"plan_footprints"`
+	Serve       []serve.CurvePoint     `json:"serve_curve,omitempty"`
 }
 
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:\s+(\d+) B/op\s+(\d+) allocs/op)?`)
 
 func main() {
 	var (
-		pr        = flag.Int("pr", 5, "PR number for the output file name and document")
+		pr        = flag.Int("pr", 6, "PR number for the output file name and document")
 		out       = flag.String("out", "", "output path (default BENCH_PR<n>.json)")
 		benchRe   = flag.String("bench", headline, "benchmark regexp handed to go test -bench")
 		benchTime = flag.String("benchtime", "1s", "go test -benchtime per benchmark")
 		count     = flag.Int("count", 1, "go test -count; the median ns/op per benchmark is recorded")
+		serveSeed = flag.Uint64("serveseed", 42, "seed for the folded-in serve curve (0 skips it)")
 	)
 	flag.Parse()
 	path := *out
@@ -72,9 +86,9 @@ func main() {
 		path = fmt.Sprintf("BENCH_PR%d.json", *pr)
 	}
 
-	cmd := exec.Command("go", "test", "-run=NONE",
-		"-bench="+*benchRe, "-benchmem", "-benchtime="+*benchTime,
-		"-count="+strconv.Itoa(*count), ".")
+	cmd := exec.Command("go", append([]string{"test", "-run=NONE",
+		"-bench=" + *benchRe, "-benchmem", "-benchtime=" + *benchTime,
+		"-count=" + strconv.Itoa(*count)}, benchPkgs...)...)
 	cmd.Stderr = os.Stderr
 	raw, err := cmd.Output()
 	if err != nil {
@@ -120,6 +134,9 @@ func main() {
 	for _, id := range []models.ID{models.V8Nano, models.V8Medium, models.V11Nano} {
 		doc.Plans = append(doc.Plans, models.MeasurePlanFootprint(id, 96, 96))
 	}
+	if *serveSeed != 0 {
+		doc.Serve = bench.RunServeStudy(*serveSeed)
+	}
 
 	buf, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
@@ -131,6 +148,6 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchtrace: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("benchtrace: wrote %s (%d benchmarks, %d plan footprints)\n",
-		path, len(doc.Benchmarks), len(doc.Plans))
+	fmt.Printf("benchtrace: wrote %s (%d benchmarks, %d plan footprints, %d serve points)\n",
+		path, len(doc.Benchmarks), len(doc.Plans), len(doc.Serve))
 }

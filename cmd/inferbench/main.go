@@ -24,6 +24,8 @@
 //	inferbench -drones 16 -batch 8 -window 60 -precision int8 -plan
 //	inferbench -engine 10 -model yolov8n -precision int8 -cpuprofile cpu.out
 //	inferbench -engine 10 -model yolov8n -plan   # 0 allocs/frame steady state
+//	inferbench -serve                            # open-loop offered-load sweep
+//	inferbench -serve -device o-agx -batch 4 -window 40
 package main
 
 import (
@@ -40,6 +42,7 @@ import (
 	"ocularone/internal/nn"
 	"ocularone/internal/pipeline"
 	"ocularone/internal/rng"
+	"ocularone/internal/serve"
 	"ocularone/internal/tensor"
 )
 
@@ -56,6 +59,7 @@ func main() {
 		precFlag   = flag.String("precision", "fp32", "inference precision: fp32 | int8")
 		planFlag   = flag.Bool("plan", false, "execute through compiled plans instead of the eager interpreter")
 		engine     = flag.Int("engine", 0, "run N real engine forward passes (wall clock) instead of simulated sweeps")
+		serveFlag  = flag.Bool("serve", false, "open-loop serving mode: sweep offered load through internal/serve")
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	)
@@ -101,7 +105,7 @@ func main() {
 		eng = device.Planned
 	}
 
-	if err := run(*deviceFlag, *modelFlag, *frames, *seed, *drones, *fps, *batch, *window, *engine, prec, eng); err != nil {
+	if err := run(*deviceFlag, *modelFlag, *frames, *seed, *drones, *fps, *batch, *window, *engine, *serveFlag, prec, eng); err != nil {
 		fmt.Fprintln(os.Stderr, "inferbench:", err)
 		os.Exit(1)
 	}
@@ -109,9 +113,12 @@ func main() {
 
 // run dispatches to the selected mode; kept apart from main so the
 // profiling defers always execute.
-func run(deviceFlag, modelFlag string, frames int, seed uint64, drones int, fps float64, batch int, window float64, engine int, prec device.Precision, eng device.Engine) error {
+func run(deviceFlag, modelFlag string, frames int, seed uint64, drones int, fps float64, batch int, window float64, engine int, serveMode bool, prec device.Precision, eng device.Engine) error {
 	if engine > 0 {
 		return engineMode(modelFlag, engine, seed, prec, eng)
+	}
+	if serveMode {
+		return serveSweep(deviceFlag, seed, batch, window, prec, eng)
 	}
 	if drones > 0 {
 		bp := pipeline.BatchPolicy{MaxBatch: batch, WindowMS: window}
@@ -169,15 +176,17 @@ func engineMode(modelFlag string, n int, seed uint64, prec device.Precision, eng
 		m = mm
 	}
 	const h, w = 96, 96 // reduced input keeps all-models sweeps tractable on CPU
+	// Acquire through the shared plan cache: repeated engine runs in one
+	// process (and any concurrent tooling) compile each (model, shape,
+	// precision) once and share the packed weights.
 	var net *nn.Network
 	var plan *nn.Plan
 	if prec == device.INT8 {
-		net = models.BuildQuantized(m, 1, seed, 3, h, w)
+		net, plan = models.AcquireSharedQuantized(m, 1, seed, 3, h, w)
 	} else {
-		net = models.Build(m, 1, seed)
+		net, plan = models.AcquireShared(m, 1, seed, h, w)
 	}
 	if eng == device.Planned {
-		plan = net.PlanFor(3, h, w)
 		slots, arena := plan.Slots()
 		cols, big := plan.ScratchPerSample()
 		fmt.Printf("plan: %d ops, %d arena slots (%d KB/sample), %d KB reference-conv scratch\n",
@@ -207,6 +216,34 @@ func engineMode(modelFlag string, n int, seed uint64, prec device.Precision, eng
 	msFrame, allocsFrame := bench.MeasureFrames(n, step)
 	fmt.Printf("total %.2fs, %.1f ms/frame, %.0f allocs/frame\n",
 		msFrame*float64(n)/1e3, msFrame, allocsFrame)
+	return nil
+}
+
+// serveSweep is the open-loop counterpart of fleetMode: instead of N
+// closed-loop drone sessions, a diurnal/bursty multi-tenant arrival
+// process offers the full Table-2 model mix to one device at multiples
+// of its full-batch capacity, and the admission/SLO policy layer in
+// internal/serve decides what to shed, hold, and batch. -device picks
+// the served device, -batch/-window override the micro-batch geometry,
+// and -precision/-plan select the served execution path.
+func serveSweep(deviceFlag string, seed uint64, batch int, window float64, prec device.Precision, eng device.Engine) error {
+	cfg := serve.DefaultConfig(10_000, seed)
+	if deviceFlag != "all" {
+		d, err := lookupDevice(deviceFlag)
+		if err != nil {
+			return err
+		}
+		cfg.Device = d
+	}
+	if batch > 0 {
+		cfg.Batch = device.BatchConfig{MaxBatch: batch, WindowMS: window}
+	}
+	cfg.Precision = prec
+	cfg.Engine = eng
+	fmt.Printf("serve: %s, precision %s, engine %s, batch %d within %.0f ms, %d tenants, capacity %.0f req/s\n",
+		cfg.Device, prec, eng, cfg.Batch.MaxBatch, cfg.Batch.WindowMS,
+		cfg.Traffic.Tenants, serve.Capacity(cfg))
+	bench.WriteServeStudy(os.Stdout, serve.RunCurve(cfg, bench.ServeRhos))
 	return nil
 }
 

@@ -1,0 +1,123 @@
+// Command servebench sweeps open-loop offered load against the shared
+// workstation through internal/serve and reports the serving frontier:
+// goodput, p50/p99 latency, shed and expiry rates, mean batch size,
+// and the simulator's own wall-clock throughput at every load point.
+//
+// Usage:
+//
+//	go run ./cmd/servebench                          # default sweep, table
+//	go run ./cmd/servebench -json serve.json         # + trajectory JSON
+//	go run ./cmd/servebench -check -horizon 2000     # CI determinism gate
+//
+// -check runs every load point twice and fails unless the two passes
+// produce identical fingerprints (bit-for-bit identical arrival traces,
+// shed decisions, and latency histograms) with nonzero goodput.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"ocularone/internal/bench"
+	"ocularone/internal/serve"
+)
+
+// doc is the JSON document servebench emits: the trajectory header
+// fields of BENCH_PR<n>.json plus the serving curve.
+type doc struct {
+	GeneratedAt string             `json:"generated_at"`
+	GoVersion   string             `json:"go_version"`
+	GOARCH      string             `json:"goarch"`
+	GOMAXPROCS  int                `json:"gomaxprocs"`
+	HorizonMS   float64            `json:"horizon_ms"`
+	Seed        uint64             `json:"seed"`
+	CapacityRPS float64            `json:"capacity_per_sec"`
+	Serve       []serve.CurvePoint `json:"serve_curve"`
+}
+
+func parseRhos(s string) ([]float64, error) {
+	var out []float64
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("servebench: bad rho %q", f)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func main() {
+	var (
+		horizon  = flag.Float64("horizon", 10_000, "simulated arrival horizon per load point (ms)")
+		seed     = flag.Uint64("seed", 42, "traffic and executor seed")
+		rhoFlag  = flag.String("rhos", "0.5,0.8,1.0,1.2,1.5,2.0", "offered-load multiples of capacity")
+		jsonPath = flag.String("json", "", "also write the curve as trajectory JSON")
+		check    = flag.Bool("check", false, "run twice and fail unless fingerprints reproduce")
+	)
+	flag.Parse()
+	rhos, err := parseRhos(*rhoFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	cfg := serve.DefaultConfig(*horizon, *seed)
+	pts := serve.RunCurve(cfg, rhos)
+	bench.WriteServeStudy(os.Stdout, pts)
+
+	var minSim float64
+	for i, p := range pts {
+		if i == 0 || p.SimReqPerWallSec < minSim {
+			minSim = p.SimReqPerWallSec
+		}
+	}
+	fmt.Printf("\ncapacity %.0f req/s at full batches; slowest point simulated %.2fM req/wall-sec\n",
+		serve.Capacity(cfg), minSim/1e6)
+
+	if *check {
+		again := serve.RunCurve(cfg, rhos)
+		for i, p := range pts {
+			if p.Fingerprint != again[i].Fingerprint {
+				fmt.Fprintf(os.Stderr, "servebench: rho=%.2f fingerprint drifted: %s vs %s\n",
+					p.Rho, p.Fingerprint, again[i].Fingerprint)
+				os.Exit(1)
+			}
+			if p.GoodputPerSec <= 0 {
+				fmt.Fprintf(os.Stderr, "servebench: rho=%.2f has zero goodput\n", p.Rho)
+				os.Exit(1)
+			}
+		}
+		fmt.Printf("check: %d load points reproduced bit-for-bit, all with nonzero goodput\n", len(pts))
+	}
+
+	if *jsonPath != "" {
+		d := doc{
+			GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+			GoVersion:   runtime.Version(),
+			GOARCH:      runtime.GOARCH,
+			GOMAXPROCS:  runtime.GOMAXPROCS(0),
+			HorizonMS:   *horizon,
+			Seed:        *seed,
+			CapacityRPS: serve.Capacity(cfg),
+			Serve:       pts,
+		}
+		buf, err := json.MarshalIndent(d, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "servebench: marshal: %v\n", err)
+			os.Exit(1)
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(*jsonPath, buf, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "servebench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d load points)\n", *jsonPath, len(pts))
+	}
+}

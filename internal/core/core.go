@@ -172,6 +172,13 @@ var experiments = map[string]Experiment{
 			return nil
 		},
 	},
+	"ext-serve": {
+		Name: "ext-serve", Desc: "Extension: open-loop serving — admission control and SLO scheduling under offered load",
+		Run: func(s *Suite, w io.Writer) error {
+			bench.WriteServeStudy(w, bench.RunServeStudy(s.Scale.Seed))
+			return nil
+		},
+	},
 }
 
 // ExperimentNames lists the available experiment IDs in a stable order.

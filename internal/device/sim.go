@@ -15,12 +15,22 @@ import (
 // surcharge the scheduler attaches to the first planned job of a
 // (stage, placement) — it extends that job's service deterministically
 // (no extra jitter draw) and is shared by the whole batch it rides in.
+//
+// DeadlineMS and Priority are scheduling metadata: the executor itself
+// serves FIFO and ignores both, but admission and SLO-aware scheduling
+// layers (internal/serve) act on them, and their zero values keep every
+// pre-serve schedule bit-for-bit.
 type Job struct {
 	Model     models.ID
 	ArrivalMS float64
 	Precision Precision
 	Engine    Engine
 	CompileMS float64
+	// DeadlineMS, when positive, is the absolute simulated time by which
+	// the requester needs the completion (its SLO).
+	DeadlineMS float64
+	// Priority ranks jobs for SLO-aware schedulers (0 = most urgent).
+	Priority uint8
 }
 
 // Completion describes a finished job.
@@ -37,6 +47,12 @@ func (c Completion) QueueDelayMS() float64 { return c.StartMS - c.Job.ArrivalMS 
 // LatencyMS returns arrival-to-finish latency.
 func (c Completion) LatencyMS() float64 { return c.FinishMS - c.Job.ArrivalMS }
 
+// MissedDeadline reports whether the completion finished past its
+// job's deadline. Jobs without a deadline never miss.
+func (c Completion) MissedDeadline() bool {
+	return c.Job.DeadlineMS > 0 && c.FinishMS > c.Job.DeadlineMS
+}
+
 // Executor simulates one device serving inference jobs FIFO on a single
 // GPU stream — the deployment mode of the paper's benchmarks. Service
 // times come from the calibrated latency model with per-frame jitter,
@@ -48,7 +64,6 @@ type Executor struct {
 	Device ID
 	rng    *rng.RNG
 	busyMS float64
-	done   []Completion
 
 	// Thermal state: exponential moving average of the duty cycle.
 	duty       float64
@@ -129,27 +144,44 @@ func (e *Executor) serviceBatchMS(m models.ID, prec Precision, eng Engine, n int
 // stale work.
 func (e *Executor) BusyUntilMS() float64 { return e.busyMS }
 
+// AdmissionDelayMS reports how long a job arriving at tMS would wait
+// behind the accepted work before starting service — the queue-aware
+// admission signal serving layers combine with a deadline to shed
+// doomed requests at arrival instead of after they rot in the queue.
+func (e *Executor) AdmissionDelayMS(tMS float64) float64 {
+	if e.busyMS <= tMS {
+		return 0
+	}
+	return e.busyMS - tMS
+}
+
+// runOne serves a single job FIFO: it starts when the stream frees and
+// the job has arrived, and runs for one jittered service time plus any
+// compile surcharge.
+func (e *Executor) runOne(j Job) Completion {
+	start := j.ArrivalMS
+	if e.busyMS > start {
+		start = e.busyMS
+	}
+	idle := start - e.busyMS
+	if e.busyMS == 0 {
+		idle = 0 // no history before the first job
+	}
+	svc := e.serviceMS(j.Model, j.Precision, j.Engine) + j.CompileMS
+	c := Completion{Job: j, StartMS: start, ServiceMS: svc, FinishMS: start + svc}
+	e.updateDuty(idle, svc)
+	e.busyMS = c.FinishMS
+	return c
+}
+
 // Run processes jobs (sorted by arrival) and returns their completions.
 func (e *Executor) Run(jobs []Job) []Completion {
 	sorted := append([]Job(nil), jobs...)
 	sort.SliceStable(sorted, func(a, b int) bool { return sorted[a].ArrivalMS < sorted[b].ArrivalMS })
 	out := make([]Completion, 0, len(sorted))
 	for _, j := range sorted {
-		start := j.ArrivalMS
-		if e.busyMS > start {
-			start = e.busyMS
-		}
-		idle := start - e.busyMS
-		if e.busyMS == 0 {
-			idle = 0 // no history before the first job
-		}
-		svc := e.serviceMS(j.Model, j.Precision, j.Engine) + j.CompileMS
-		c := Completion{Job: j, StartMS: start, ServiceMS: svc, FinishMS: start + svc}
-		e.updateDuty(idle, svc)
-		e.busyMS = c.FinishMS
-		out = append(out, c)
+		out = append(out, e.runOne(j))
 	}
-	e.done = append(e.done, out...)
 	return out
 }
 
@@ -165,8 +197,19 @@ func (e *Executor) RunBatch(jobs []Job) []Completion {
 	if len(jobs) == 0 {
 		return nil
 	}
+	return e.RunBatchInto(make([]Completion, 0, len(jobs)), jobs)
+}
+
+// RunBatchInto is RunBatch appending completions into dst — the
+// allocation-free variant high-rate event loops (internal/serve) call
+// with a recycled buffer. The jitter draw sequence is identical to
+// RunBatch, so the two are interchangeable in deterministic replays.
+func (e *Executor) RunBatchInto(dst []Completion, jobs []Job) []Completion {
+	if len(jobs) == 0 {
+		return dst
+	}
 	if len(jobs) == 1 {
-		return e.Run(jobs)
+		return append(dst, e.runOne(jobs[0]))
 	}
 	m, prec, eng := jobs[0].Model, jobs[0].Precision, jobs[0].Engine
 	start := jobs[0].ArrivalMS
@@ -197,14 +240,12 @@ func (e *Executor) RunBatch(jobs []Job) []Completion {
 	}
 	svc := e.serviceBatchMS(m, prec, eng, len(jobs)) + compile
 	share := svc / float64(len(jobs))
-	out := make([]Completion, len(jobs))
-	for i, j := range jobs {
-		out[i] = Completion{Job: j, StartMS: start, ServiceMS: share, FinishMS: start + svc}
+	for _, j := range jobs {
+		dst = append(dst, Completion{Job: j, StartMS: start, ServiceMS: share, FinishMS: start + svc})
 	}
 	e.updateDuty(idle, svc)
 	e.busyMS = start + svc
-	e.done = append(e.done, out...)
-	return out
+	return dst
 }
 
 // PeriodicJobs builds a constant-rate arrival stream: n frames of model m

@@ -51,6 +51,13 @@ type Session struct {
 	EdgeRTTms float64
 	// OffsetMS staggers this session's arrivals within a fleet.
 	OffsetMS float64
+	// ArrivalsMS, when non-nil, replaces the fixed-period schedule:
+	// frame i arrives at OffsetMS + ArrivalsMS[i]. Feed it from
+	// serve.Traffic.ArrivalTrace to drive the session from an open-loop
+	// source (bursty, diurnal) instead of the closed-loop camera clock.
+	// Offsets must be non-decreasing; frames past the end of the trace
+	// continue at the periodic rate from the last traced arrival.
+	ArrivalsMS []float64
 	// Seed drives the session's local executor jitter.
 	Seed uint64
 	// Batch micro-batches the session's stage work when enabled
@@ -82,6 +89,30 @@ func (s *Session) defaults() {
 }
 
 func (s *Session) periodMS() float64 { return 1e3 / s.FrameFPS }
+
+// arrivalAt returns frame i's arrival time: the open-loop trace entry
+// when one is set, the closed-loop camera clock otherwise.
+func (s *Session) arrivalAt(i int, period float64) float64 {
+	if n := len(s.ArrivalsMS); n > 0 {
+		if i < n {
+			return s.OffsetMS + s.ArrivalsMS[i]
+		}
+		return s.OffsetMS + s.ArrivalsMS[n-1] + float64(i-n+1)*period
+	}
+	return s.OffsetMS + float64(i)*period
+}
+
+// validateArrivals rejects a decreasing open-loop trace, which would
+// silently corrupt the executors' busy-time accounting.
+func (s *Session) validateArrivals() error {
+	for i := 1; i < len(s.ArrivalsMS); i++ {
+		if s.ArrivalsMS[i] < s.ArrivalsMS[i-1] {
+			return fmt.Errorf("pipeline: session %d ArrivalsMS decreases at index %d (%v after %v)",
+				s.ID, i, s.ArrivalsMS[i], s.ArrivalsMS[i-1])
+		}
+	}
+	return nil
+}
 
 // extract materialises the session's frame list.
 func (s *Session) extract() []video.ExtractedFrame {
@@ -304,13 +335,16 @@ func (s *Session) Run(shared *device.Cluster) (StreamResult, error) {
 	if err := s.Graph.Validate(); err != nil {
 		return StreamResult{}, err
 	}
+	if err := s.validateArrivals(); err != nil {
+		return StreamResult{}, err
+	}
 	env := s.env(shared)
 	res := StreamResult{Session: s.ID}
 	period := s.periodMS()
 	runner := newGroupRunner(s.Batch)
 	analyze := func(st Stage, fc *FrameCtx) bool { return st.Analyze(fc) }
 	for i, f := range s.extract() {
-		arrival := s.OffsetMS + float64(i)*period
+		arrival := s.arrivalAt(i, period)
 		runner.closeWindow(arrival)
 		if !env.admit(arrival) {
 			env.dropFrame(f.FrameIndex)
@@ -377,6 +411,9 @@ func (f *Fleet) Run() ([]StreamResult, error) {
 		if err := s.Graph.Validate(); err != nil {
 			return nil, fmt.Errorf("pipeline: session %d: %w", s.ID, err)
 		}
+		if err := s.validateArrivals(); err != nil {
+			return nil, err
+		}
 	}
 
 	// Phase 1 — analytics, parallel across sessions. Pixel work is pure
@@ -406,7 +443,7 @@ func (f *Fleet) Run() ([]StreamResult, error) {
 	for i, s := range f.Sessions {
 		period := s.periodMS()
 		for j := range frames[i] {
-			events = append(events, fleetEvent{sess: i, frame: j, arrival: s.OffsetMS + float64(j)*period})
+			events = append(events, fleetEvent{sess: i, frame: j, arrival: s.arrivalAt(j, period)})
 		}
 	}
 	sort.SliceStable(events, func(a, b int) bool {

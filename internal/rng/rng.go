@@ -92,6 +92,16 @@ func (r *RNG) NormRange(mean, stddev float64) float64 {
 	return mean + stddev*r.Norm()
 }
 
+// Exp returns an exponentially distributed float64 with the given mean
+// (the inter-arrival draw of a Poisson process). It panics if mean <= 0.
+func (r *RNG) Exp(mean float64) float64 {
+	if mean <= 0 {
+		panic("rng: Exp with non-positive mean")
+	}
+	// 1 - Float64() is in (0, 1], keeping Log finite.
+	return -mean * math.Log(1.0-r.Float64())
+}
+
 // Bool returns true with probability p.
 func (r *RNG) Bool(p float64) bool {
 	return r.Float64() < p

@@ -1,0 +1,62 @@
+package serve
+
+import (
+	"testing"
+)
+
+// BenchmarkCalQueue measures the steady-state push/pop cycle of the
+// event core. The CI gate asserts 0 allocs/op: bucket storage must be
+// fully recycled once the population stabilises.
+func BenchmarkCalQueue(b *testing.B) {
+	q := NewCalQueue(1024, 1.0)
+	r := uint64(1)
+	t := 0.0
+	for i := 0; i < 1024; i++ { // steady-state population
+		r = r*6364136223846793005 + 1442695040888963407
+		q.Push(Event{TimeMS: t + float64(r%1000)/100})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e, _ := q.Pop()
+		t = e.TimeMS
+		r = r*6364136223846793005 + 1442695040888963407
+		q.Push(Event{TimeMS: t + float64(r%1000)/100})
+	}
+}
+
+// BenchmarkServeSteadyState measures the full serving hot loop —
+// arrival generation, admission, batching, executor dispatch,
+// histogram recording — per simulated millisecond at 2x overload.
+// The CI gate asserts 0 allocs/op (the pool, scratch slices, and
+// calendar buckets are all warmed by the first simulated seconds), and
+// the sim_req/s metric is the million-requests-per-wall-second
+// headline the package doc promises.
+func BenchmarkServeSteadyState(b *testing.B) {
+	cfg := DefaultConfig(1e18, 42) // horizon unused: driven by AdvanceTo
+	cfg.Traffic.RatePerSec = 2 * Capacity(cfg)
+	s := NewServer(cfg)
+	s.AdvanceTo(5_000) // warm: pool at cap, buckets sized, scratch grown
+	start := s.Offered()
+	t := 5_000.0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t += 1.0
+		s.AdvanceTo(t)
+	}
+	b.StopTimer()
+	if n := s.Offered() - start; n > 0 && b.Elapsed().Seconds() > 0 {
+		b.ReportMetric(float64(n)/b.Elapsed().Seconds(), "sim_req/s")
+	}
+}
+
+// BenchmarkArrivalGen isolates the thinning sampler.
+func BenchmarkArrivalGen(b *testing.B) {
+	g := newGen(DefaultConfig(0, 3).Traffic)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.nextArrival(i % len(g.tenants))
+	}
+}

@@ -1,0 +1,72 @@
+package serve
+
+import (
+	"fmt"
+	"time"
+)
+
+// CurvePoint is one offered-load point of a serving study, in the shape
+// the trajectory JSON and the ext-serve bench tables consume. Rho is
+// the offered load as a fraction of Capacity; everything except
+// SimReqPerWallSec is deterministic under a fixed seed.
+type CurvePoint struct {
+	Rho              float64 `json:"rho"`
+	OfferedPerSec    float64 `json:"offered_per_sec"`
+	GoodputPerSec    float64 `json:"goodput_per_sec"`
+	P50MS            float64 `json:"p50_ms"`
+	P99MS            float64 `json:"p99_ms"`
+	ShedPct          float64 `json:"shed_pct"`
+	ExpiredPct       float64 `json:"expired_pct"`
+	MeanBatch        float64 `json:"mean_batch"`
+	Utilization      float64 `json:"utilization"`
+	Requests         int64   `json:"requests"`
+	SimReqPerWallSec float64 `json:"sim_req_per_wall_sec"`
+	Fingerprint      string  `json:"fingerprint"`
+}
+
+// RunCurve sweeps offered load over the given rho multiples of the
+// config's Capacity, running one full horizon-and-drain study per
+// point. cfg.Traffic.RatePerSec is overwritten per point; everything
+// else in cfg is used as given.
+func RunCurve(cfg Config, rhos []float64) []CurvePoint {
+	capacity := Capacity(cfg)
+	points := make([]CurvePoint, 0, len(rhos))
+	for _, rho := range rhos {
+		c := cfg
+		c.Traffic.RatePerSec = rho * capacity
+		s := NewServer(c)
+		t0 := time.Now()
+		s.AdvanceTo(c.HorizonMS)
+		s.Drain()
+		wall := time.Since(t0).Seconds()
+		res := s.Result()
+		if err := res.CheckInvariants(); err != nil {
+			panic(err)
+		}
+		p := CurvePoint{
+			Rho:           rho,
+			OfferedPerSec: res.OfferedPerSec,
+			GoodputPerSec: res.GoodputPerSec,
+			MeanBatch:     res.MeanBatch,
+			Utilization:   res.Utilization,
+			Requests:      res.Offered,
+			Fingerprint:   fmt.Sprintf("%016x", s.Fingerprint()),
+		}
+		// Latency percentiles over completed requests of all classes.
+		var lat Hist
+		for c := range s.tallies {
+			lat.Merge(&s.tallies[c].lat)
+		}
+		p.P50MS = lat.QuantileMS(0.50)
+		p.P99MS = lat.QuantileMS(0.99)
+		if res.Offered > 0 {
+			p.ShedPct = 100 * float64(res.Shed) / float64(res.Offered)
+			p.ExpiredPct = 100 * float64(res.Expired) / float64(res.Offered)
+		}
+		if wall > 0 {
+			p.SimReqPerWallSec = float64(res.Offered) / wall
+		}
+		points = append(points, p)
+	}
+	return points
+}

@@ -1,0 +1,36 @@
+// Package serve is the open-loop serving front end of the Ocularone
+// benchmark: it offers traffic to a device the way a deployed fleet
+// would — arrivals keep coming whether or not the device keeps up —
+// and measures what the closed-loop pipeline studies cannot: goodput,
+// tail latency, and shed rate as functions of offered load.
+//
+// The package has three layers:
+//
+//   - Traffic generation (traffic.go): per-tenant nonhomogeneous
+//     Poisson arrivals sampled exactly by thinning, modulated by a
+//     diurnal sinusoid and a two-state Markov burst process, with
+//     Zipf-skewed tenant shares and heterogeneous model/class mixes
+//     over the eight Table-2 models. Every draw derives from
+//     internal/rng split streams: one seed, one trace, bit for bit.
+//
+//   - Event core (event.go, hist.go): a Brown-style calendar queue
+//     with value-type events and reused bucket storage, plus
+//     fixed-size log-scaled latency histograms. Steady-state
+//     simulation allocates nothing, which is what sustains more than
+//     a million simulated requests per wall-clock second on one core.
+//
+//   - Policy (server.go): admission control (queue caps plus
+//     shed-if-doomed deadline prediction using the executor's
+//     queue-aware AdmissionDelayMS), strict-priority SLO classes with
+//     lazy dispatch-time expiry, least-attained-service fairness
+//     across tenants, and windowed same-model micro-batch formation
+//     dispatched through device.Executor — the same simulator, jitter
+//     model, and thermal throttle every other study in the repo uses.
+//
+// Run executes one horizon-and-drain study; RunCurve sweeps offered
+// load against Capacity to produce the goodput/p99/shed-rate curves
+// reported by cmd/servebench and the ext-serve bench study. Results
+// satisfy conservation invariants (offered = admitted + shed,
+// admitted = completed + expired) and expose a Fingerprint so CI can
+// assert bit-for-bit reproducibility.
+package serve

@@ -1,0 +1,217 @@
+package serve
+
+import "math"
+
+// Event is one scheduled occurrence in the discrete-event core. Events
+// are plain values — no pointers, no per-event heap records — so the
+// queue's steady state allocates nothing. Kind discriminates the
+// payload; A and B are kind-specific indices (tenant, device, timer
+// generation) into the server's flat state.
+type Event struct {
+	TimeMS float64
+	// seq is the queue-assigned insertion number: ties on TimeMS pop in
+	// insertion order, which is what makes replays deterministic.
+	seq  uint64
+	Kind uint8
+	A, B int32
+}
+
+func eventLess(a, b Event) bool {
+	if a.TimeMS != b.TimeMS {
+		return a.TimeMS < b.TimeMS
+	}
+	return a.seq < b.seq
+}
+
+// CalQueue is a calendar-queue event scheduler (Brown 1988): a ring of
+// time-width buckets the virtual clock sweeps like days on a wall
+// calendar. Insert and pop-min are O(1) amortised when the queue is
+// sized to its load — the property that lets the serving simulator push
+// millions of events per wall-second — and the queue resizes itself by
+// powers of two as the event population grows or shrinks.
+//
+// Buckets hold events by value in reused slices, so a steady-state
+// workload (push one, pop one) allocates nothing; only population
+// growth reallocates. Timestamps must be non-negative and finite.
+// Equal-time events pop in push order (FIFO), so replays are
+// deterministic regardless of bucket geometry.
+type CalQueue struct {
+	buckets  [][]Event
+	nb       int     // bucket count (power of two)
+	mask     int     // nb - 1
+	width    float64 // time span of one bucket
+	cur      int     // bucket the sweep is currently scanning
+	curTop   float64 // upper time edge of buckets[cur] in the current year
+	n        int
+	seq      uint64
+	scratch  []Event // resize staging, reused
+	maxItems int     // resize-up threshold
+	minItems int     // resize-down threshold
+}
+
+// NewCalQueue returns a queue tuned for about `hint` concurrently
+// scheduled events spaced about `widthMS` apart. Both are hints: the
+// queue re-tunes itself as the population changes. hint <= 0 and
+// widthMS <= 0 select small defaults.
+func NewCalQueue(hint int, widthMS float64) *CalQueue {
+	if widthMS <= 0 {
+		widthMS = 1
+	}
+	nb := 4
+	for nb < hint {
+		nb <<= 1
+	}
+	q := &CalQueue{}
+	q.init(nb, widthMS, 0)
+	return q
+}
+
+func (q *CalQueue) init(nb int, width float64, startMS float64) {
+	if cap(q.buckets) >= nb {
+		q.buckets = q.buckets[:nb]
+		for i := range q.buckets {
+			q.buckets[i] = q.buckets[i][:0]
+		}
+	} else {
+		old := q.buckets
+		q.buckets = make([][]Event, nb)
+		copy(q.buckets, old[:0])
+	}
+	q.nb = nb
+	q.mask = nb - 1
+	q.width = width
+	q.n = 0
+	q.cur = int(startMS/width) & q.mask
+	q.curTop = (math.Floor(startMS/width) + 1) * width
+	q.maxItems = 2 * nb
+	q.minItems = nb/2 - 2
+}
+
+// Len reports the number of scheduled events.
+func (q *CalQueue) Len() int { return q.n }
+
+// Push schedules an event. TimeMS must be non-negative and finite; the
+// seq field is assigned by the queue.
+func (q *CalQueue) Push(e Event) {
+	if e.TimeMS < 0 || math.IsInf(e.TimeMS, 0) || math.IsNaN(e.TimeMS) {
+		panic("serve: CalQueue event time must be non-negative and finite")
+	}
+	q.seq++
+	e.seq = q.seq
+	q.insert(e)
+	if q.n > q.maxItems {
+		q.resize(q.nb << 1)
+	}
+}
+
+func (q *CalQueue) insert(e Event) {
+	b := int(e.TimeMS/q.width) & q.mask
+	s := q.buckets[b]
+	// Sorted insert; buckets hold ~2 events at steady state, so the
+	// shift is cheap and keeps pops O(1).
+	i := len(s)
+	s = append(s, e)
+	for i > 0 && eventLess(e, s[i-1]) {
+		s[i] = s[i-1]
+		i--
+	}
+	s[i] = e
+	q.buckets[b] = s
+	q.n++
+	// An event behind the sweep position would be missed for a whole
+	// ring revolution; rewind the sweep to its bucket. Simulation
+	// schedules forward, so this is the adversarial-input safety net,
+	// not the hot path.
+	if e.TimeMS < q.curTop-q.width {
+		q.cur = b
+		q.curTop = (math.Floor(e.TimeMS/q.width) + 1) * q.width
+	}
+}
+
+// Pop removes and returns the earliest event.
+func (q *CalQueue) Pop() (Event, bool) {
+	if q.n == 0 {
+		return Event{}, false
+	}
+	// Sweep at most one full ring revolution looking for an event in
+	// the current calendar year.
+	for i := 0; i < q.nb; i++ {
+		if s := q.buckets[q.cur]; len(s) > 0 && s[0].TimeMS < q.curTop {
+			return q.take(q.cur), true
+		}
+		q.cur = (q.cur + 1) & q.mask
+		q.curTop += q.width
+	}
+	// Nothing within a year of the sweep: the next event is far in the
+	// future. Find the global minimum directly and jump the sweep to it.
+	minB := -1
+	var min Event
+	for b, s := range q.buckets {
+		if len(s) > 0 && (minB < 0 || eventLess(s[0], min)) {
+			minB, min = b, s[0]
+		}
+	}
+	q.cur = minB
+	q.curTop = (math.Floor(min.TimeMS/q.width) + 1) * q.width
+	return q.take(minB), true
+}
+
+// Peek returns the earliest event without removing it.
+func (q *CalQueue) Peek() (Event, bool) {
+	e, ok := q.Pop()
+	if !ok {
+		return Event{}, false
+	}
+	// Re-inserting preserves order: seq is already assigned, and insert
+	// places equal keys by seq.
+	q.insert(e)
+	return e, true
+}
+
+func (q *CalQueue) take(b int) Event {
+	s := q.buckets[b]
+	e := s[0]
+	copy(s, s[1:])
+	q.buckets[b] = s[:len(s)-1]
+	q.n--
+	if q.n < q.minItems && q.nb > 4 {
+		q.resize(q.nb >> 1)
+	}
+	return e
+}
+
+// resize re-buckets every event into nb buckets with a width matched to
+// the observed event spacing, Brown's rule of thumb: buckets should
+// span a few events' worth of time so pops rarely cross empty buckets.
+func (q *CalQueue) resize(nb int) {
+	q.scratch = q.scratch[:0]
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range q.buckets {
+		for _, e := range s {
+			q.scratch = append(q.scratch, e)
+			if e.TimeMS < lo {
+				lo = e.TimeMS
+			}
+			if e.TimeMS > hi {
+				hi = e.TimeMS
+			}
+		}
+	}
+	width := q.width
+	if n := len(q.scratch); n > 1 && hi > lo {
+		width = 3 * (hi - lo) / float64(n)
+	}
+	if width <= 0 || math.IsInf(width, 0) {
+		width = 1
+	}
+	start := lo
+	if math.IsInf(start, 1) {
+		start = 0
+	}
+	seq := q.seq
+	q.init(nb, width, start)
+	q.seq = seq
+	for _, e := range q.scratch {
+		q.insert(e)
+	}
+}

@@ -1,0 +1,317 @@
+package serve
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"ocularone/internal/rng"
+)
+
+// TestCalQueueOrdering drives the calendar queue with adversarial
+// timestamps — clusters, exact ties, far-future jumps, inserts behind
+// the sweep position — and checks every Pop against a brute-force
+// mirror: the queue must always return the minimum (time, push order)
+// pair still enqueued.
+func TestCalQueueOrdering(t *testing.T) {
+	r := rng.New(7)
+	q := NewCalQueue(8, 1.0)
+	type rec struct {
+		t     float64
+		order int32
+	}
+	var mirror []rec
+	var order int32
+	last := 0.0
+	push := func(tm float64) {
+		q.Push(Event{TimeMS: tm, A: order})
+		mirror = append(mirror, rec{tm, order})
+		order++
+	}
+	pop := func() {
+		e, ok := q.Pop()
+		if !ok {
+			t.Fatalf("Pop on non-empty queue (mirror has %d)", len(mirror))
+		}
+		best := 0
+		for i, m := range mirror {
+			if m.t < mirror[best].t || (m.t == mirror[best].t && m.order < mirror[best].order) {
+				best = i
+			}
+		}
+		want := mirror[best]
+		if e.TimeMS != want.t || e.A != want.order {
+			t.Fatalf("Pop = (t=%v, order=%d), want (t=%v, order=%d)", e.TimeMS, e.A, want.t, want.order)
+		}
+		mirror = append(mirror[:best], mirror[best+1:]...)
+		last = e.TimeMS
+	}
+	for i := 0; i < 20000; i++ {
+		if r.Float64() < 0.6 || len(mirror) == 0 {
+			var tm float64
+			switch r.Intn(6) {
+			case 0:
+				tm = r.Float64() * 10
+			case 1:
+				tm = last + r.Float64()
+			case 2:
+				tm = r.Float64() * 1e6 // far-future jump
+			case 3:
+				tm = last // exact tie: FIFO order must hold
+			case 4:
+				tm = r.Float64() * 1e-3
+			case 5:
+				tm = last * r.Float64() // behind the sweep
+			}
+			push(tm)
+		} else {
+			pop()
+		}
+	}
+	for len(mirror) > 0 {
+		pop()
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("Pop succeeded on drained queue")
+	}
+}
+
+func TestCalQueuePeek(t *testing.T) {
+	q := NewCalQueue(4, 1.0)
+	q.Push(Event{TimeMS: 5, A: 1})
+	q.Push(Event{TimeMS: 3, A: 2})
+	q.Push(Event{TimeMS: 3, A: 3})
+	for i := 0; i < 3; i++ { // Peek must not disturb order
+		if e, ok := q.Peek(); !ok || e.A != 2 {
+			t.Fatalf("Peek = %+v, want A=2", e)
+		}
+	}
+	want := []int32{2, 3, 1}
+	for _, w := range want {
+		e, ok := q.Pop()
+		if !ok || e.A != w {
+			t.Fatalf("Pop = %+v, want A=%d", e, w)
+		}
+	}
+}
+
+func TestCalQueueRejectsBadTimes(t *testing.T) {
+	for _, bad := range []float64{-1, math.Inf(1), math.NaN()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Push(%v) did not panic", bad)
+				}
+			}()
+			NewCalQueue(4, 1).Push(Event{TimeMS: bad})
+		}()
+	}
+}
+
+// TestArrivalTraceDeterminism: identical seeds reproduce the arrival
+// trace bit for bit; traces are strictly increasing; distinct seeds
+// diverge.
+func TestArrivalTraceDeterminism(t *testing.T) {
+	cfg := DefaultConfig(0, 99).Traffic
+	a := cfg.ArrivalTrace(0, 2000)
+	b := cfg.ArrivalTrace(0, 2000)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different arrival traces")
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i] <= a[i-1] {
+			t.Fatalf("trace not strictly increasing at %d: %v then %v", i, a[i-1], a[i])
+		}
+	}
+	cfg.Seed = 100
+	c := cfg.ArrivalTrace(0, 2000)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical arrival traces")
+	}
+}
+
+// TestTrafficMeanRate: burst and diurnal modulation are normalised out,
+// so the long-run arrival rate stays the configured aggregate mean.
+func TestTrafficMeanRate(t *testing.T) {
+	cfg := DefaultConfig(0, 5).Traffic
+	cfg.RatePerSec = 2000
+	g := newGen(cfg)
+	const horizon = 120_000.0
+	var n int
+	for ti := range g.tenants {
+		g.tenants[ti].nextMS = 0
+		for g.nextArrival(ti) < horizon {
+			n++
+		}
+	}
+	got := float64(n) / horizon * 1e3
+	if math.Abs(got-cfg.RatePerSec) > 0.10*cfg.RatePerSec {
+		t.Fatalf("long-run rate %.0f/s, want %.0f/s +-10%%", got, cfg.RatePerSec)
+	}
+}
+
+// TestServeDeterminism: identical seeds reproduce shed decisions,
+// latency histograms, and every counter bit for bit.
+func TestServeDeterminism(t *testing.T) {
+	cfg := DefaultConfig(5_000, 42)
+	cfg.Traffic.RatePerSec = 800
+	run := func() (Result, uint64) {
+		s := NewServer(cfg)
+		s.AdvanceTo(cfg.HorizonMS)
+		s.Drain()
+		return s.Result(), s.Fingerprint()
+	}
+	r1, f1 := run()
+	r2, f2 := run()
+	if f1 != f2 {
+		t.Fatalf("fingerprints differ under the same seed: %016x vs %016x", f1, f2)
+	}
+	if !reflect.DeepEqual(r1, r2) {
+		t.Fatal("results differ under the same seed")
+	}
+	cfg.Traffic.Seed = 43
+	if _, f3 := run(); f3 == f1 {
+		t.Fatal("different seeds produced identical fingerprints")
+	}
+}
+
+// TestServeInvariants: at every load point, offered arrivals are
+// conserved — admitted + shed = offered, completed + expired =
+// admitted — and the drained server holds no residual requests.
+func TestServeInvariants(t *testing.T) {
+	for _, rho := range []float64{0.25, 0.75, 1.25, 2.0} {
+		cfg := DefaultConfig(4_000, 11)
+		cfg.Traffic.RatePerSec = rho * Capacity(cfg)
+		s := NewServer(cfg)
+		s.AdvanceTo(cfg.HorizonMS)
+		s.Drain()
+		res := s.Result()
+		if err := res.CheckInvariants(); err != nil {
+			t.Fatalf("rho=%.2f: %v", rho, err)
+		}
+		if s.queued != 0 {
+			t.Fatalf("rho=%.2f: %d requests still queued after drain", rho, s.queued)
+		}
+		if res.Offered == 0 || res.Completed == 0 {
+			t.Fatalf("rho=%.2f: degenerate run: %+v", rho, res)
+		}
+		var tenantSum int64
+		for _, n := range res.TenantOffered {
+			tenantSum += n
+		}
+		if tenantSum != res.Offered {
+			t.Fatalf("rho=%.2f: tenant offered sum %d != offered %d", rho, tenantSum, res.Offered)
+		}
+	}
+}
+
+// TestServeFairness: under 3x overload with Zipf-skewed tenants, the
+// quota + least-attained-service policy must not let the heavy head
+// tenants starve the light tail: the lightest tenant keeps a strictly
+// better completion ratio than the heaviest.
+func TestServeFairness(t *testing.T) {
+	cfg := DefaultConfig(8_000, 21)
+	cfg.Traffic.ClassMix = [NumClasses]float64{0, 0, 1} // no deadlines: isolate queue policy
+	cfg.Traffic.RatePerSec = 3 * Capacity(cfg)
+	res := Run(cfg)
+	if err := res.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	nt := len(res.TenantOffered)
+	heavy := float64(res.TenantCompleted[0]) / float64(res.TenantOffered[0])
+	light := float64(res.TenantCompleted[nt-1]) / float64(res.TenantOffered[nt-1])
+	if res.TenantOffered[0] < 4*res.TenantOffered[nt-1] {
+		t.Fatalf("Zipf skew missing: heavy offered %d, light offered %d", res.TenantOffered[0], res.TenantOffered[nt-1])
+	}
+	if light <= heavy {
+		t.Fatalf("light tenant completion ratio %.3f <= heavy %.3f: overload is not fair", light, heavy)
+	}
+	if light < 0.9 {
+		t.Fatalf("light tenant completion ratio %.3f, want >= 0.9 under fair overload", light)
+	}
+}
+
+// TestServePriority: the interactive class must see a lower median
+// latency than the no-deadline background class under load.
+func TestServePriority(t *testing.T) {
+	cfg := DefaultConfig(6_000, 33)
+	cfg.Traffic.RatePerSec = 1.2 * Capacity(cfg)
+	res := Run(cfg)
+	ia, bg := res.Classes[Interactive], res.Classes[Background]
+	if ia.Completed == 0 || bg.Completed == 0 {
+		t.Fatalf("degenerate class stats: %+v / %+v", ia, bg)
+	}
+	if ia.P50MS >= bg.P50MS {
+		t.Fatalf("interactive p50 %.1fms >= background p50 %.1fms: priority inverted", ia.P50MS, bg.P50MS)
+	}
+	if got := float64(ia.SLOMet) / float64(ia.Completed); got < 0.95 {
+		t.Fatalf("only %.1f%% of completed interactive requests met their SLO", 100*got)
+	}
+}
+
+// TestServeShedMonotonic: more offered load can only shed a larger
+// fraction — the admission controller's dose-response sanity check.
+func TestServeShedMonotonic(t *testing.T) {
+	prev := -1.0
+	for _, rho := range []float64{0.5, 1.0, 2.0, 4.0} {
+		cfg := DefaultConfig(4_000, 17)
+		cfg.Traffic.RatePerSec = rho * Capacity(cfg)
+		res := Run(cfg)
+		if res.ShedRate < prev {
+			t.Fatalf("shed rate fell from %.3f to %.3f as load rose to rho=%.1f", prev, res.ShedRate, rho)
+		}
+		prev = res.ShedRate
+	}
+}
+
+func TestHistQuantiles(t *testing.T) {
+	var h Hist
+	for i := 1; i <= 10000; i++ {
+		h.Add(float64(i) * 0.1) // 0.1ms .. 1000ms uniform
+	}
+	if h.N() != 10000 {
+		t.Fatalf("N = %d", h.N())
+	}
+	for _, tc := range []struct{ p, want float64 }{{0.5, 500}, {0.99, 990}} {
+		got := h.QuantileMS(tc.p)
+		if got < tc.want*0.85 || got > tc.want*1.05 {
+			t.Fatalf("q%.2f = %.1fms, want ~%.0fms (log-bin tolerance)", tc.p, got, tc.want)
+		}
+	}
+	if m := h.MeanMS(); math.Abs(m-500.05) > 0.01 {
+		t.Fatalf("mean = %v, want 500.05 exactly", m)
+	}
+	if h.MaxMS() != 1000 {
+		t.Fatalf("max = %v", h.MaxMS())
+	}
+	var a, b Hist
+	a.Add(1)
+	b.Add(100)
+	a.Merge(&b)
+	if a.N() != 2 || a.MaxMS() != 100 {
+		t.Fatalf("merge: N=%d max=%v", a.N(), a.MaxMS())
+	}
+}
+
+// TestRunCurveShape: goodput rises toward saturation and never exceeds
+// offered; fingerprints are stable across identical sweeps.
+func TestRunCurveShape(t *testing.T) {
+	cfg := DefaultConfig(3_000, 8)
+	rhos := []float64{0.25, 1.0, 2.0}
+	pts := RunCurve(cfg, rhos)
+	pts2 := RunCurve(cfg, rhos)
+	for i, p := range pts {
+		if p.GoodputPerSec > p.OfferedPerSec {
+			t.Fatalf("rho=%.2f: goodput %.0f > offered %.0f", p.Rho, p.GoodputPerSec, p.OfferedPerSec)
+		}
+		if p.Fingerprint != pts2[i].Fingerprint {
+			t.Fatalf("rho=%.2f: fingerprint drifted across identical sweeps", p.Rho)
+		}
+	}
+	if pts[0].ShedPct > 5 {
+		t.Fatalf("rho=0.25 sheds %.1f%%: underloaded server should admit nearly everything", pts[0].ShedPct)
+	}
+	if pts[2].ShedPct < 20 {
+		t.Fatalf("rho=2.0 sheds only %.1f%%: overload must shed", pts[2].ShedPct)
+	}
+}

@@ -1,0 +1,721 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+
+	"ocularone/internal/device"
+	"ocularone/internal/models"
+)
+
+// Event kinds of the serving simulator.
+const (
+	// evArrival is one request arriving at tenant A's source.
+	evArrival uint8 = iota
+	// evCompletion is the in-flight batch finishing on the device.
+	evCompletion
+	// evTimer is the micro-batch window expiring for the oldest
+	// undispatched request.
+	evTimer
+)
+
+// Config parameterises one serving run: the device and execution mode
+// requests are served with, the open-loop traffic offered to it, and
+// the policy layer between the two.
+type Config struct {
+	// Device serves every request (the shared workstation of the fleet
+	// deployments).
+	Device device.ID
+	// Precision and Engine select the execution mode of every request.
+	Precision device.Precision
+	Engine    device.Engine
+	// Batch configures micro-batch coalescing: up to MaxBatch queued
+	// same-model, same-class requests dispatch as one inference, and
+	// the dispatcher holds a sub-full batch at most WindowMS past its
+	// oldest member's arrival — less if holding would doom the oldest
+	// member's deadline.
+	Batch device.BatchConfig
+	// Traffic is the open-loop arrival process.
+	Traffic Traffic
+	// SLOScale is the per-class deadline budget as a multiple of the
+	// request model's batch-1 service time (zero value selects
+	// DefaultSLOScale; 0 within a class means no deadline).
+	SLOScale [NumClasses]float64
+	// QueueCap sheds arrivals once this many requests are queued
+	// (0 = unlimited).
+	QueueCap int
+	// TenantQuota sheds a tenant's arrivals once it has this many
+	// requests queued (0 = unlimited). The quota is what makes
+	// overload fair: one flooding tenant exhausts its own quota, not
+	// the shared queue.
+	TenantQuota int
+	// ShedDoomed sheds deadline-carrying arrivals whose predicted
+	// completion — queue-aware via Executor.AdmissionDelayMS plus the
+	// batching-corrected queued work of their own and more urgent
+	// classes — already misses the deadline. Shedding at arrival is
+	// the load-shedding half of admission control: the device never
+	// wastes service on work that cannot meet its SLO.
+	ShedDoomed bool
+	// HorizonMS is the simulated duration arrivals are offered for
+	// (Run drains the queues afterwards).
+	HorizonMS float64
+}
+
+// DefaultConfig is the reference serving configuration of the
+// ext-serve study: the shared RTX 4090 workstation serving the default
+// eight-model mix from 16 bursty diurnal tenants, micro-batch 8 within
+// a 25 ms window, deadline admission plus queue cap and tenant quota.
+func DefaultConfig(horizonMS float64, seed uint64) Config {
+	return Config{
+		Device: device.RTX4090,
+		Batch:  device.BatchConfig{MaxBatch: 8, WindowMS: 25},
+		Traffic: Traffic{
+			RatePerSec:      1000, // overwritten by load sweeps
+			Tenants:         16,
+			DiurnalAmp:      0.4,
+			DiurnalPeriodMS: 60_000,
+			BurstMult:       4,
+			BurstOnMS:       500,
+			BurstOffMS:      4500,
+			Seed:            seed,
+		},
+		// Quotas partition the cap (16 x 32 = 512): a flooding tenant
+		// always exhausts its own quota before the shared queue, so cap
+		// shedding never hits tenants below their fair share.
+		QueueCap:    512,
+		TenantQuota: 32,
+		ShedDoomed:  true,
+		HorizonMS:   horizonMS,
+	}
+}
+
+// request is one pooled in-flight request record. Records are
+// index-linked (next) into per-(class, tenant, model) FIFO queues and
+// recycled through a free list, so the steady state allocates nothing.
+type request struct {
+	arrivalMS  float64
+	deadlineMS float64 // 0 = none
+	estMS      float64 // batch-1 service estimate, the admission unit
+	model      models.ID
+	class      Class
+	tenant     int32
+	next       int32
+}
+
+// fifo is one intrusive queue over the request pool.
+type fifo struct{ head, tail int32 }
+
+// tally accumulates one class's counters.
+type tally struct {
+	offered, admitted, shed, expired, completed, sloMet int64
+	lat                                                 Hist
+}
+
+const numModels = int(models.NumModels)
+
+// Server is the open-loop serving simulator: a calendar-queue event
+// core feeding admission control, per-class SLO scheduling, and
+// least-attained-service tenant fairness on top of one device.Executor.
+// Use NewServer + AdvanceTo/Drain for incremental control (benchmarks,
+// live dashboards) or Run for a complete horizon-and-drain study.
+type Server struct {
+	cfg Config
+	g   *gen
+	q   *CalQueue
+	ex  *device.Executor
+
+	// estMS[m] is the deterministic batch-1 service estimate used for
+	// deadlines, admission predictions, and fairness charging;
+	// fullBatchMS[m] is the whole-batch service at MaxBatch, the
+	// latest-safe-dispatch bound of the window hold.
+	estMS       [models.NumModels]float64
+	fullBatchMS [models.NumModels]float64
+	// batchEff rescales queued batch-1 work to its batched service
+	// cost (mix-weighted, <= 1) so admission predictions match the
+	// rate the dispatcher actually drains the queue at.
+	batchEff float64
+
+	pool []request
+	free int32
+
+	// queues[c] is a flat [tenant][model] grid of FIFOs: per-model
+	// queues are what make same-model micro-batches findable behind
+	// heterogeneous arrival order, per-tenant queues are what the
+	// fairness scheduler arbitrates between.
+	queues       [NumClasses][]fifo
+	classCount   [NumClasses]int64
+	classEstMS   [NumClasses]float64
+	queued       int64
+	tenantQueued []int64
+	// attained is each tenant's charged service; the dispatcher always
+	// serves the least-attained tenant with eligible work, which is
+	// max-min fair under the Zipf-skewed offered load.
+	attained []float64
+
+	nowMS    float64
+	timerAt  float64
+	draining bool
+
+	// dispatch scratch, recycled across batches.
+	jobs      []device.Job
+	comps     []device.Completion
+	batchReqs []int32
+
+	// metrics
+	tallies         [NumClasses]tally
+	tenantOffered   []int64
+	tenantCompleted []int64
+	batches         int64
+	batchedReqs     int64
+	busyMS          float64
+	lastFinishMS    float64
+	events          int64
+}
+
+// NewServer materialises the generator and event queue and schedules
+// every tenant's first arrival.
+func NewServer(cfg Config) *Server {
+	allZero := true
+	for _, v := range cfg.SLOScale {
+		if v != 0 {
+			allZero = false
+		}
+	}
+	if allZero {
+		cfg.SLOScale = DefaultSLOScale
+	}
+	g := newGen(cfg.Traffic)
+	nt := len(g.tenants)
+	s := &Server{
+		cfg:             cfg,
+		g:               g,
+		q:               NewCalQueue(2*nt+8, 1e3/cfg.Traffic.RatePerSec),
+		ex:              device.NewExecutor(cfg.Device, cfg.Traffic.Seed*0x9e3779b97f4a7c15+uint64(cfg.Device)+1),
+		free:            -1,
+		tenantQueued:    make([]int64, nt),
+		attained:        make([]float64, nt),
+		tenantOffered:   make([]int64, nt),
+		tenantCompleted: make([]int64, nt),
+	}
+	maxB := cfg.Batch.MaxBatch
+	if maxB < 1 {
+		maxB = 1
+	}
+	var b1, bN float64
+	for m := models.ID(0); m < models.NumModels; m++ {
+		s.estMS[m] = device.PredictMSEng(m, cfg.Device, cfg.Precision, cfg.Engine)
+		s.fullBatchMS[m] = device.PredictBatchMSEng(m, cfg.Device, maxB, cfg.Precision, cfg.Engine)
+		share := g.mixCum[m]
+		if m > 0 {
+			share -= g.mixCum[m-1]
+		}
+		b1 += share * s.estMS[m]
+		bN += share * s.fullBatchMS[m] / float64(maxB)
+	}
+	s.batchEff = 1
+	if b1 > 0 {
+		s.batchEff = bN / b1
+	}
+	for c := range s.queues {
+		s.queues[c] = make([]fifo, nt*numModels)
+		for i := range s.queues[c] {
+			s.queues[c][i] = fifo{head: -1, tail: -1}
+		}
+	}
+	for ti := range g.tenants {
+		s.q.Push(Event{TimeMS: g.nextArrival(ti), Kind: evArrival, A: int32(ti)})
+	}
+	return s
+}
+
+// NowMS reports the simulator's clock (the last processed event time).
+func (s *Server) NowMS() float64 { return s.nowMS }
+
+// Offered reports the requests offered so far across all classes.
+func (s *Server) Offered() int64 {
+	var n int64
+	for c := range s.tallies {
+		n += s.tallies[c].offered
+	}
+	return n
+}
+
+// AdvanceTo processes every event scheduled at or before tMS.
+func (s *Server) AdvanceTo(tMS float64) {
+	for {
+		e, ok := s.q.Pop()
+		if !ok {
+			return
+		}
+		if e.TimeMS > tMS {
+			s.q.insert(e) // seq preserved: order unchanged
+			return
+		}
+		s.handle(e)
+	}
+}
+
+// Drain stops offering new arrivals and runs the simulation until every
+// admitted request has completed or expired.
+func (s *Server) Drain() {
+	s.draining = true
+	s.maybeDispatch(s.nowMS)
+	for {
+		e, ok := s.q.Pop()
+		if !ok {
+			return
+		}
+		s.handle(e)
+	}
+}
+
+// handle processes one event.
+func (s *Server) handle(e Event) {
+	s.nowMS = e.TimeMS
+	s.events++
+	switch e.Kind {
+	case evArrival:
+		if s.draining {
+			return // the horizon has passed; the source is switched off
+		}
+		s.arrive(int(e.A), e.TimeMS)
+	case evCompletion:
+		s.maybeDispatch(e.TimeMS)
+	case evTimer:
+		if e.TimeMS != s.timerAt {
+			return // superseded: the batch it guarded already dispatched
+		}
+		s.timerAt = 0
+		s.maybeDispatch(e.TimeMS)
+	}
+}
+
+// arrive draws one request for tenant ti, runs admission, and schedules
+// the tenant's next arrival.
+func (s *Server) arrive(ti int, now float64) {
+	m := s.g.drawModel(ti)
+	c := s.g.drawClass(ti)
+	est := s.estMS[m]
+	deadline := 0.0
+	if scale := s.cfg.SLOScale[c]; scale > 0 {
+		deadline = now + scale*est
+	}
+	s.tallies[c].offered++
+	s.tenantOffered[ti]++
+
+	// Self-perpetuating open loop: the source emits the next arrival
+	// regardless of what admission decides — that is what distinguishes
+	// open-loop offered load from the closed-loop benchmark waves.
+	s.q.Push(Event{TimeMS: s.g.nextArrival(ti), Kind: evArrival, A: int32(ti)})
+
+	if s.cfg.QueueCap > 0 && s.queued >= int64(s.cfg.QueueCap) {
+		s.tallies[c].shed++
+		return
+	}
+	if s.cfg.TenantQuota > 0 && s.tenantQueued[ti] >= int64(s.cfg.TenantQuota) {
+		s.tallies[c].shed++
+		return
+	}
+	if s.cfg.ShedDoomed && deadline > 0 {
+		// Predicted completion: residual service of the in-flight batch,
+		// plus the queued work of this and every more urgent class
+		// rescaled by the batching efficiency, plus this request's own
+		// service.
+		wait := s.ex.AdmissionDelayMS(now)
+		var ahead float64
+		for cc := Class(0); cc <= c; cc++ {
+			ahead += s.classEstMS[cc]
+		}
+		wait += ahead * s.batchEff
+		if now+wait+est > deadline {
+			s.tallies[c].shed++
+			return
+		}
+	}
+	s.tallies[c].admitted++
+
+	ri := s.alloc()
+	r := &s.pool[ri]
+	r.arrivalMS = now
+	r.deadlineMS = deadline
+	r.estMS = est
+	r.model = m
+	r.class = c
+	r.tenant = int32(ti)
+	r.next = -1
+	qq := &s.queues[c][ti*numModels+int(m)]
+	if qq.tail >= 0 {
+		s.pool[qq.tail].next = ri
+	} else {
+		qq.head = ri
+	}
+	qq.tail = ri
+	s.classCount[c]++
+	s.classEstMS[c] += est
+	s.tenantQueued[ti]++
+	s.queued++
+
+	s.maybeDispatch(now)
+}
+
+// alloc takes a request record from the free list, growing the pool
+// only when the outstanding population reaches a new high-water mark.
+func (s *Server) alloc() int32 {
+	if s.free >= 0 {
+		ri := s.free
+		s.free = s.pool[ri].next
+		return ri
+	}
+	s.pool = append(s.pool, request{})
+	return int32(len(s.pool) - 1)
+}
+
+func (s *Server) release(ri int32) {
+	s.pool[ri].next = s.free
+	s.free = ri
+}
+
+// removeHead unlinks the head of queue qi in class c and returns its
+// index. The record is NOT released — callers either recycle it
+// (expiry) or keep it alive through batch accounting (dispatch).
+func (s *Server) removeHead(c Class, qi int) int32 {
+	qq := &s.queues[c][qi]
+	ri := qq.head
+	r := &s.pool[ri]
+	qq.head = r.next
+	if qq.head < 0 {
+		qq.tail = -1
+	}
+	s.classCount[c]--
+	s.classEstMS[c] -= r.estMS
+	s.tenantQueued[r.tenant]--
+	s.queued--
+	return ri
+}
+
+// liveHead pops expired requests off the head of queue qi in class c
+// and returns the first live head, or -1. Expiry is the dispatch-time
+// half of SLO shedding: a request whose deadline already passed is
+// abandoned rather than served — serving it would burn device time on
+// work the requester has given up on.
+func (s *Server) liveHead(c Class, qi int, now float64) int32 {
+	qq := &s.queues[c][qi]
+	for qq.head >= 0 {
+		r := &s.pool[qq.head]
+		if r.deadlineMS == 0 || now <= r.deadlineMS {
+			return qq.head
+		}
+		s.tallies[c].expired++
+		s.release(s.removeHead(c, qi))
+	}
+	return -1
+}
+
+// maybeDispatch forms and dispatches at most one micro-batch if the
+// device is free: strict priority across classes, least-attained-
+// service fairness across tenants within the class, same-model
+// coalescing within the batch, and a deadline-capped WindowMS hold for
+// sub-full batches. A held class does not block lower classes — the
+// dispatcher stays work-conserving while the window timer runs.
+func (s *Server) maybeDispatch(now float64) {
+	if s.ex.BusyUntilMS() > now {
+		return // the completion event will retrigger
+	}
+	maxB := s.cfg.Batch.MaxBatch
+	if maxB < 1 {
+		maxB = 1
+	}
+	for c := Class(0); c < NumClasses; c++ {
+		if s.classCount[c] == 0 {
+			continue
+		}
+		// Lead request: the oldest live request of the least-attained
+		// tenant with work in this class.
+		leadT, leadQ := -1, -1
+		var leadArr float64
+		for ti := range s.attained {
+			if s.tenantQueued[ti] == 0 {
+				continue
+			}
+			if leadT >= 0 && s.attained[ti] >= s.attained[leadT] {
+				continue
+			}
+			bestQ := -1
+			var bestArr float64
+			for m := 0; m < numModels; m++ {
+				qi := ti*numModels + m
+				h := s.liveHead(c, qi, now)
+				if h < 0 {
+					continue
+				}
+				if arr := s.pool[h].arrivalMS; bestQ < 0 || arr < bestArr {
+					bestQ, bestArr = qi, arr
+				}
+			}
+			if bestQ < 0 {
+				continue
+			}
+			leadT, leadQ, leadArr = ti, bestQ, bestArr
+		}
+		if leadQ < 0 {
+			continue // everything queued in this class had expired
+		}
+		lead := &s.pool[s.queues[c][leadQ].head]
+		if s.cfg.Batch.Enabled() && !s.draining && s.classCount[c] < int64(maxB) {
+			// Hold a sub-full batch up to the window, but never past the
+			// lead's last safe dispatch instant.
+			hold := leadArr + s.cfg.Batch.WindowMS
+			if lead.deadlineMS > 0 {
+				if safe := lead.deadlineMS - s.fullBatchMS[lead.model]; safe < hold {
+					hold = safe
+				}
+			}
+			if now < hold {
+				if s.timerAt == 0 {
+					s.timerAt = hold
+					s.q.Push(Event{TimeMS: hold, Kind: evTimer})
+				}
+				continue // stay work-conserving: consider lower classes
+			}
+		}
+		s.dispatch(c, lead.model, now, maxB)
+		return
+	}
+}
+
+// dispatch coalesces up to maxB model-m requests of class c —
+// repeatedly taking from the least-attained tenant with eligible work —
+// and serves them as one inference.
+func (s *Server) dispatch(c Class, m models.ID, now float64, maxB int) {
+	s.batchReqs = s.batchReqs[:0]
+	s.jobs = s.jobs[:0]
+	for len(s.batchReqs) < maxB {
+		best := -1
+		for ti := range s.attained {
+			if s.tenantQueued[ti] == 0 {
+				continue
+			}
+			if s.liveHead(c, ti*numModels+int(m), now) < 0 {
+				continue
+			}
+			if best < 0 || s.attained[ti] < s.attained[best] {
+				best = ti
+			}
+		}
+		if best < 0 {
+			break
+		}
+		ri := s.removeHead(c, best*numModels+int(m))
+		r := &s.pool[ri]
+		s.attained[best] += r.estMS
+		s.batchReqs = append(s.batchReqs, ri)
+		s.jobs = append(s.jobs, device.Job{
+			Model:     m,
+			ArrivalMS: now, // the scheduler releases the batch now
+			Precision: s.cfg.Precision,
+			Engine:    s.cfg.Engine,
+			// Metadata for completion-side accounting.
+			DeadlineMS: r.deadlineMS,
+			Priority:   uint8(c),
+		})
+	}
+	if len(s.batchReqs) == 0 {
+		return
+	}
+
+	s.comps = s.ex.RunBatchInto(s.comps[:0], s.jobs)
+	finish := s.comps[0].FinishMS
+	start := s.comps[0].StartMS
+	for _, ri := range s.batchReqs {
+		r := &s.pool[ri]
+		t := &s.tallies[r.class]
+		t.completed++
+		if r.deadlineMS == 0 || finish <= r.deadlineMS {
+			t.sloMet++
+		}
+		t.lat.Add(finish - r.arrivalMS)
+		s.tenantCompleted[r.tenant]++
+		s.release(ri)
+	}
+	s.batches++
+	s.batchedReqs += int64(len(s.batchReqs))
+	s.busyMS += finish - start
+	s.lastFinishMS = finish
+	s.q.Push(Event{TimeMS: finish, Kind: evCompletion})
+}
+
+// ClassStats summarises one priority class of a completed run.
+type ClassStats struct {
+	Class     string  `json:"class"`
+	Offered   int64   `json:"offered"`
+	Admitted  int64   `json:"admitted"`
+	Shed      int64   `json:"shed"`
+	Expired   int64   `json:"expired"`
+	Completed int64   `json:"completed"`
+	SLOMet    int64   `json:"slo_met"`
+	P50MS     float64 `json:"p50_ms"`
+	P99MS     float64 `json:"p99_ms"`
+	MeanMS    float64 `json:"mean_ms"`
+	MaxMS     float64 `json:"max_ms"`
+}
+
+// Result aggregates one serving run. Every field is a pure function of
+// the Config — wall-clock measurements live in CurvePoint, not here —
+// so two runs with the same seed produce identical Results, which
+// Fingerprint turns into a single comparable word.
+type Result struct {
+	HorizonMS     float64                `json:"horizon_ms"`
+	Classes       [NumClasses]ClassStats `json:"classes"`
+	Offered       int64                  `json:"offered"`
+	Admitted      int64                  `json:"admitted"`
+	Shed          int64                  `json:"shed"`
+	Expired       int64                  `json:"expired"`
+	Completed     int64                  `json:"completed"`
+	SLOMet        int64                  `json:"slo_met"`
+	Batches       int64                  `json:"batches"`
+	MeanBatch     float64                `json:"mean_batch"`
+	Utilization   float64                `json:"utilization"`
+	Events        int64                  `json:"events"`
+	GoodputPerSec float64                `json:"goodput_per_sec"`
+	OfferedPerSec float64                `json:"offered_per_sec"`
+	ShedRate      float64                `json:"shed_rate"`
+	// TenantCompleted is indexed by tenant — the fairness evidence.
+	TenantCompleted []int64 `json:"tenant_completed"`
+	TenantOffered   []int64 `json:"tenant_offered"`
+}
+
+// Result summarises the run so far (call after AdvanceTo + Drain).
+func (s *Server) Result() Result {
+	res := Result{
+		HorizonMS:       s.cfg.HorizonMS,
+		Events:          s.events,
+		Batches:         s.batches,
+		TenantCompleted: s.tenantCompleted,
+		TenantOffered:   s.tenantOffered,
+	}
+	for c := Class(0); c < NumClasses; c++ {
+		t := &s.tallies[c]
+		res.Classes[c] = ClassStats{
+			Class:     c.String(),
+			Offered:   t.offered,
+			Admitted:  t.admitted,
+			Shed:      t.shed,
+			Expired:   t.expired,
+			Completed: t.completed,
+			SLOMet:    t.sloMet,
+			P50MS:     t.lat.QuantileMS(0.50),
+			P99MS:     t.lat.QuantileMS(0.99),
+			MeanMS:    t.lat.MeanMS(),
+			MaxMS:     t.lat.MaxMS(),
+		}
+		res.Offered += t.offered
+		res.Admitted += t.admitted
+		res.Shed += t.shed
+		res.Expired += t.expired
+		res.Completed += t.completed
+		res.SLOMet += t.sloMet
+	}
+	if s.batches > 0 {
+		res.MeanBatch = float64(s.batchedReqs) / float64(s.batches)
+	}
+	span := s.cfg.HorizonMS
+	if s.lastFinishMS > span {
+		span = s.lastFinishMS
+	}
+	if span > 0 {
+		res.Utilization = s.busyMS / span
+		res.GoodputPerSec = float64(res.SLOMet) / span * 1e3
+		res.OfferedPerSec = float64(res.Offered) / span * 1e3
+	}
+	if res.Offered > 0 {
+		res.ShedRate = float64(res.Shed) / float64(res.Offered)
+	}
+	return res
+}
+
+// CheckInvariants verifies the conservation laws every load point must
+// satisfy: offered splits exactly into admitted and shed, and admitted
+// work splits exactly into completed and expired once drained.
+func (r Result) CheckInvariants() error {
+	if r.Offered != r.Admitted+r.Shed {
+		return fmt.Errorf("serve: offered %d != admitted %d + shed %d", r.Offered, r.Admitted, r.Shed)
+	}
+	if r.Admitted != r.Completed+r.Expired {
+		return fmt.Errorf("serve: admitted %d != completed %d + expired %d", r.Admitted, r.Completed, r.Expired)
+	}
+	for _, c := range r.Classes {
+		if c.Offered != c.Admitted+c.Shed {
+			return fmt.Errorf("serve: class %s offered %d != admitted %d + shed %d", c.Class, c.Offered, c.Admitted, c.Shed)
+		}
+		if c.Admitted != c.Completed+c.Expired {
+			return fmt.Errorf("serve: class %s admitted %d != completed %d + expired %d", c.Class, c.Admitted, c.Completed, c.Expired)
+		}
+	}
+	return nil
+}
+
+// Fingerprint hashes every counter and latency bin into one word
+// (FNV-1a): equal fingerprints across runs mean the traces and shed
+// decisions were reproduced bit for bit.
+func (s *Server) Fingerprint() uint64 {
+	h := uint64(14695981039346656037)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= 1099511628211
+			v >>= 8
+		}
+	}
+	for c := range s.tallies {
+		t := &s.tallies[c]
+		mix(uint64(t.offered))
+		mix(uint64(t.admitted))
+		mix(uint64(t.shed))
+		mix(uint64(t.expired))
+		mix(uint64(t.completed))
+		mix(uint64(t.sloMet))
+		mix(math.Float64bits(t.lat.sum))
+		for _, n := range t.lat.counts {
+			mix(uint64(n))
+		}
+	}
+	for _, n := range s.tenantCompleted {
+		mix(uint64(n))
+	}
+	return h
+}
+
+// Run executes one complete study: offer arrivals for the config's
+// horizon, drain, and summarise.
+func Run(cfg Config) Result {
+	s := NewServer(cfg)
+	s.AdvanceTo(cfg.HorizonMS)
+	s.Drain()
+	return s.Result()
+}
+
+// Capacity returns the request rate (req/s) the configured device
+// sustains over the traffic mix when every dispatch is a full
+// micro-batch — the denominator offered-load sweeps express ρ against.
+func Capacity(cfg Config) float64 {
+	mix := cfg.Traffic.Mix
+	if mix == nil {
+		mix = DefaultMix()
+	}
+	n := cfg.Batch.MaxBatch
+	if n < 1 {
+		n = 1
+	}
+	var tot, msPerReq float64
+	for _, w := range mix {
+		tot += w
+	}
+	for m, w := range mix {
+		if w <= 0 {
+			continue
+		}
+		svc := device.PredictBatchMSEng(models.ID(m), cfg.Device, n, cfg.Precision, cfg.Engine)
+		msPerReq += w / tot * svc / float64(n)
+	}
+	return 1e3 / msPerReq
+}

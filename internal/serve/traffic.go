@@ -1,0 +1,294 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+
+	"ocularone/internal/models"
+	"ocularone/internal/rng"
+)
+
+// Class is a request priority class with an associated SLO. Lower
+// values are more urgent; the dispatcher serves classes in strict
+// priority order and admission sheds the tight-deadline classes first
+// (a doomed interactive request is worthless, a late batch request is
+// not).
+type Class uint8
+
+// Priority classes of the serving front end.
+const (
+	// Interactive requests power live UI (the VIP-assistance alert
+	// path): tight deadline, shed when doomed.
+	Interactive Class = iota
+	// Standard requests are ordinary streaming analytics: loose
+	// deadline, shed when doomed.
+	Standard
+	// Background requests are offline re-analysis: no deadline, never
+	// expired, shed only by queue caps.
+	Background
+	// NumClasses sizes per-class state arrays.
+	NumClasses
+)
+
+// String returns the short class name used in reports.
+func (c Class) String() string {
+	switch c {
+	case Interactive:
+		return "interactive"
+	case Standard:
+		return "standard"
+	case Background:
+		return "background"
+	default:
+		return fmt.Sprintf("class(%d)", int(c))
+	}
+}
+
+// DefaultSLOScale is the per-class deadline budget as a multiple of the
+// request model's batch-1 service time on the serving device: an
+// interactive yolov8n request gets a much tighter absolute deadline
+// than an interactive yolov8x one, which keeps goodput comparable
+// across heterogeneous mixes. The scales are sized against the default
+// 25 ms micro-batch window — a nano detector's interactive budget
+// (~30 ms) admits one batching window plus service, not less, so SLOs
+// constrain queueing rather than forbid batching. 0 means no deadline.
+var DefaultSLOScale = [NumClasses]float64{30, 100, 0}
+
+// Traffic parameterises the open-loop arrival process: an aggregate
+// Poisson rate shared by Tenants independent sources, modulated by a
+// diurnal sinusoid and a two-state burst process (a Markov-modulated
+// Poisson process), with every request drawing a model from Mix and a
+// priority class from ClassMix. All draws come from rng streams split
+// off Seed, so a Traffic value is a pure function of its fields: same
+// seed, same trace, bit for bit.
+type Traffic struct {
+	// RatePerSec is the mean aggregate offered rate in requests per
+	// second across all tenants (before diurnal/burst modulation, whose
+	// long-run means are normalised out).
+	RatePerSec float64
+	// Tenants is the number of independent request sources (drone
+	// sessions). Tenant i's share of the rate follows a 1/(i+1) Zipf
+	// profile so fairness is tested against a skewed offered load.
+	Tenants int
+	// Mix gives relative request weights over the eight Table-2 models;
+	// nil selects DefaultMix.
+	Mix []float64
+	// ClassMix gives relative weights over the priority classes; all
+	// zeros selects DefaultClassMix.
+	ClassMix [NumClasses]float64
+	// DiurnalAmp in [0,1) modulates the rate sinusoidally:
+	// rate × (1 + amp·sin(2πt/period + phase)). 0 disables.
+	DiurnalAmp float64
+	// DiurnalPeriodMS is the sinusoid period (default 60 s of simulated
+	// time — a compressed day).
+	DiurnalPeriodMS float64
+	// BurstMult >= 1 multiplies the rate while a tenant's burst state is
+	// on (1 disables bursts).
+	BurstMult float64
+	// BurstOnMS / BurstOffMS are the mean burst / gap durations.
+	BurstOnMS, BurstOffMS float64
+	// Seed drives every arrival, mix, and burst draw.
+	Seed uint64
+}
+
+// DefaultMix weights the eight Table-2 models the way a deployed fleet
+// queries them: nano detectors dominate, mid-size models are common,
+// x-large sweeps and the auxiliary pose/depth models trail.
+func DefaultMix() []float64 {
+	mix := make([]float64, models.NumModels)
+	mix[models.V8Nano] = 30
+	mix[models.V11Nano] = 25
+	mix[models.V8Medium] = 12
+	mix[models.V11Medium] = 10
+	mix[models.Bodypose] = 10
+	mix[models.Monodepth2] = 8
+	mix[models.V8XLarge] = 3
+	mix[models.V11XLarge] = 2
+	return mix
+}
+
+// DefaultClassMix sends most traffic through the standard class with an
+// interactive head and a background tail.
+var DefaultClassMix = [NumClasses]float64{25, 60, 15}
+
+// tenantGen is one tenant's lazy arrival-process state.
+type tenantGen struct {
+	r *rng.RNG
+	// ratePerMS is the tenant's unmodulated mean rate.
+	ratePerMS float64
+	// maxRatePerMS bounds the modulated rate — the thinning envelope.
+	maxRatePerMS float64
+	phase        float64 // diurnal phase offset
+	burstOn      bool
+	burstEndMS   float64 // next burst-state toggle
+	nextMS       float64 // candidate arrival cursor
+}
+
+// gen holds the materialised generator state for one Traffic value.
+type gen struct {
+	cfg      Traffic
+	tenants  []tenantGen
+	mixCum   []float64 // cumulative model weights, normalised to 1
+	classCum [NumClasses]float64
+}
+
+func newGen(cfg Traffic) *gen {
+	if cfg.RatePerSec <= 0 {
+		panic("serve: Traffic.RatePerSec must be positive")
+	}
+	if cfg.Tenants <= 0 {
+		cfg.Tenants = 1
+	}
+	if cfg.Mix == nil {
+		cfg.Mix = DefaultMix()
+	}
+	if len(cfg.Mix) != int(models.NumModels) {
+		panic(fmt.Sprintf("serve: Mix must have %d weights, got %d", models.NumModels, len(cfg.Mix)))
+	}
+	allZero := true
+	for _, w := range cfg.ClassMix {
+		if w != 0 {
+			allZero = false
+		}
+	}
+	if allZero {
+		cfg.ClassMix = DefaultClassMix
+	}
+	if cfg.DiurnalPeriodMS <= 0 {
+		cfg.DiurnalPeriodMS = 60_000
+	}
+	if cfg.BurstMult < 1 {
+		cfg.BurstMult = 1
+	}
+	if cfg.BurstOnMS <= 0 {
+		cfg.BurstOnMS = 500
+	}
+	if cfg.BurstOffMS <= 0 {
+		cfg.BurstOffMS = 4500
+	}
+
+	g := &gen{cfg: cfg}
+	g.mixCum = make([]float64, len(cfg.Mix))
+	var tot float64
+	for _, w := range cfg.Mix {
+		if w < 0 {
+			panic("serve: negative model mix weight")
+		}
+		tot += w
+	}
+	if tot <= 0 {
+		panic("serve: model mix sums to zero")
+	}
+	cum := 0.0
+	for i, w := range cfg.Mix {
+		cum += w / tot
+		g.mixCum[i] = cum
+	}
+	tot = 0
+	for _, w := range cfg.ClassMix {
+		tot += w
+	}
+	cum = 0
+	for i, w := range cfg.ClassMix {
+		cum += w / tot
+		g.classCum[i] = cum
+	}
+
+	// Zipf tenant shares: tenant i carries weight 1/(i+1). The burst
+	// process raises a tenant's long-run mean rate by the expected
+	// burst occupancy; normalise it out so RatePerSec stays the true
+	// aggregate mean whatever the burst knobs.
+	burstOcc := cfg.BurstOnMS / (cfg.BurstOnMS + cfg.BurstOffMS)
+	burstNorm := 1 + (cfg.BurstMult-1)*burstOcc
+	var zipfTot float64
+	for i := 0; i < cfg.Tenants; i++ {
+		zipfTot += 1 / float64(i+1)
+	}
+	root := rng.New(cfg.Seed)
+	g.tenants = make([]tenantGen, cfg.Tenants)
+	for i := range g.tenants {
+		share := (1 / float64(i+1)) / zipfTot
+		base := cfg.RatePerSec / 1e3 * share / burstNorm
+		t := &g.tenants[i]
+		t.r = root.SplitN("tenant", i)
+		t.ratePerMS = base
+		t.maxRatePerMS = base * (1 + cfg.DiurnalAmp) * cfg.BurstMult
+		t.phase = 2 * math.Pi * float64(i) / float64(cfg.Tenants)
+		t.burstEndMS = t.r.Exp(cfg.BurstOffMS)
+	}
+	return g
+}
+
+// rateAt returns tenant t's modulated rate at time tMS, advancing the
+// burst state machine lazily (tMS must be non-decreasing per tenant,
+// which arrival generation guarantees).
+func (g *gen) rateAt(t *tenantGen, tMS float64) float64 {
+	for tMS >= t.burstEndMS {
+		t.burstOn = !t.burstOn
+		if t.burstOn {
+			t.burstEndMS += t.r.Exp(g.cfg.BurstOnMS)
+		} else {
+			t.burstEndMS += t.r.Exp(g.cfg.BurstOffMS)
+		}
+	}
+	rate := t.ratePerMS
+	if g.cfg.DiurnalAmp > 0 {
+		rate *= 1 + g.cfg.DiurnalAmp*math.Sin(2*math.Pi*tMS/g.cfg.DiurnalPeriodMS+t.phase)
+	}
+	if t.burstOn {
+		rate *= g.cfg.BurstMult
+	}
+	return rate
+}
+
+// nextArrival draws tenant ti's next arrival time after its cursor via
+// thinning: candidate points at the envelope rate, accepted with
+// probability rate(t)/envelope — the standard exact sampler for a
+// nonhomogeneous Poisson process.
+func (g *gen) nextArrival(ti int) float64 {
+	t := &g.tenants[ti]
+	for {
+		t.nextMS += t.r.Exp(1 / t.maxRatePerMS)
+		if t.r.Float64()*t.maxRatePerMS < g.rateAt(t, t.nextMS) {
+			return t.nextMS
+		}
+	}
+}
+
+// drawModel samples a model ID from the mix for tenant ti.
+func (g *gen) drawModel(ti int) models.ID {
+	u := g.tenants[ti].r.Float64()
+	for i, c := range g.mixCum {
+		if u < c {
+			return models.ID(i)
+		}
+	}
+	return models.ID(len(g.mixCum) - 1)
+}
+
+// drawClass samples a priority class for tenant ti.
+func (g *gen) drawClass(ti int) Class {
+	u := g.tenants[ti].r.Float64()
+	for i, c := range g.classCum {
+		if u < c {
+			return Class(i)
+		}
+	}
+	return NumClasses - 1
+}
+
+// ArrivalTrace materialises the first n arrival offsets (in ms) of one
+// tenant's open-loop process — the bridge that feeds pipeline sessions
+// from the generator instead of fixed-period closed-loop waves (set
+// pipeline.Session.ArrivalsMS to the returned slice).
+func (t Traffic) ArrivalTrace(tenant, n int) []float64 {
+	g := newGen(t)
+	if tenant < 0 || tenant >= len(g.tenants) {
+		panic(fmt.Sprintf("serve: tenant %d out of range [0,%d)", tenant, len(g.tenants)))
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = g.nextArrival(tenant)
+	}
+	return out
+}
