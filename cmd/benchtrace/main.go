@@ -11,11 +11,14 @@
 // internal/serve event-core benchmarks and the offered-load curve from
 // the ext-serve study (goodput / p99 / shed per rho), so scheduling
 // regressions show up in the same reviewable artifact as kernel ones.
+// PR 7 adds the chaos curve: per-fault-regime goodput, tail latency
+// and managed-recovery times at the capacity knee, plus the
+// steady-state chaos benchmark guarding the 0 allocs/op event loop.
 //
 // Usage:
 //
-//	go run ./cmd/benchtrace                 # writes BENCH_PR6.json
-//	go run ./cmd/benchtrace -pr 7 -count 3  # next PR, median of 3
+//	go run ./cmd/benchtrace                 # writes BENCH_PR7.json
+//	go run ./cmd/benchtrace -pr 8 -count 3  # next PR, median of 3
 package main
 
 import (
@@ -42,12 +45,14 @@ const headline = "BenchmarkMatMul512$|BenchmarkMatMulYOLO$|BenchmarkMatMulInt8$|
 	"BenchmarkConv2D$|BenchmarkConv2DInt8$|BenchmarkMatVec$|BenchmarkTranspose$|" +
 	"BenchmarkNNForwardYOLOv8NanoCPU$|BenchmarkNNForwardBatchYOLOv8NanoCPU$|" +
 	"BenchmarkNNForwardQuantYOLOv8NanoCPU$|BenchmarkNNPlanExecuteYOLOv8NanoCPU$|" +
-	"BenchmarkNNForwardTRTPoseCPU$|BenchmarkCalQueue$|BenchmarkServeSteadyState$"
+	"BenchmarkNNForwardTRTPoseCPU$|BenchmarkCalQueue$|BenchmarkServeSteadyState$|" +
+	"BenchmarkChaosSteadyState$"
 
 // benchPkgs are the packages the headline benchmarks live in: the root
 // harness for kernels and network forwards, internal/serve for the
-// event core and steady-state serving loop.
-var benchPkgs = []string{".", "./internal/serve"}
+// event core and steady-state serving loop, internal/chaos for the
+// fault-injected serving loop.
+var benchPkgs = []string{".", "./internal/serve", "./internal/chaos"}
 
 // benchResult is one parsed testing.B line (median over -count runs).
 type benchResult struct {
@@ -67,13 +72,14 @@ type trajectory struct {
 	Benchmarks  []benchResult          `json:"benchmarks"`
 	Plans       []models.PlanFootprint `json:"plan_footprints"`
 	Serve       []serve.CurvePoint     `json:"serve_curve,omitempty"`
+	Chaos       []bench.ChaosPoint     `json:"chaos_curve,omitempty"`
 }
 
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:\s+(\d+) B/op\s+(\d+) allocs/op)?`)
 
 func main() {
 	var (
-		pr        = flag.Int("pr", 6, "PR number for the output file name and document")
+		pr        = flag.Int("pr", 7, "PR number for the output file name and document")
 		out       = flag.String("out", "", "output path (default BENCH_PR<n>.json)")
 		benchRe   = flag.String("bench", headline, "benchmark regexp handed to go test -bench")
 		benchTime = flag.String("benchtime", "1s", "go test -benchtime per benchmark")
@@ -136,6 +142,7 @@ func main() {
 	}
 	if *serveSeed != 0 {
 		doc.Serve = bench.RunServeStudy(*serveSeed)
+		doc.Chaos = bench.RunChaosCurve(*serveSeed, 10_000)
 	}
 
 	buf, err := json.MarshalIndent(doc, "", "  ")
@@ -148,6 +155,6 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchtrace: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("benchtrace: wrote %s (%d benchmarks, %d plan footprints, %d serve points)\n",
-		path, len(doc.Benchmarks), len(doc.Plans), len(doc.Serve))
+	fmt.Printf("benchtrace: wrote %s (%d benchmarks, %d plan footprints, %d serve points, %d chaos regimes)\n",
+		path, len(doc.Benchmarks), len(doc.Plans), len(doc.Serve), len(doc.Chaos))
 }

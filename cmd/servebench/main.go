@@ -8,10 +8,18 @@
 //	go run ./cmd/servebench                          # default sweep, table
 //	go run ./cmd/servebench -json serve.json         # + trajectory JSON
 //	go run ./cmd/servebench -check -horizon 2000     # CI determinism gate
+//	go run ./cmd/servebench -chaos -check            # + chaos regimes
 //
 // -check runs every load point twice and fails unless the two passes
 // produce identical fingerprints (bit-for-bit identical arrival traces,
 // shed decisions, and latency histograms) with nonzero goodput.
+//
+// -chaos additionally sweeps the fault regimes of internal/chaos at
+// the capacity knee and reports goodput, tail latency, shed/lost rates
+// and managed-recovery times per regime. Combined with -check, the
+// chaos sweep must also reproduce bit for bit, and the fault-free
+// baseline regime must land on exactly the same fingerprint as the
+// plain rho=1.0 load point — fault plumbing is proven inert when idle.
 package main
 
 import (
@@ -39,6 +47,7 @@ type doc struct {
 	Seed        uint64             `json:"seed"`
 	CapacityRPS float64            `json:"capacity_per_sec"`
 	Serve       []serve.CurvePoint `json:"serve_curve"`
+	Chaos       []bench.ChaosPoint `json:"chaos_curve,omitempty"`
 }
 
 func parseRhos(s string) ([]float64, error) {
@@ -60,6 +69,7 @@ func main() {
 		rhoFlag  = flag.String("rhos", "0.5,0.8,1.0,1.2,1.5,2.0", "offered-load multiples of capacity")
 		jsonPath = flag.String("json", "", "also write the curve as trajectory JSON")
 		check    = flag.Bool("check", false, "run twice and fail unless fingerprints reproduce")
+		chaosRun = flag.Bool("chaos", false, "also sweep the fault regimes at the capacity knee")
 	)
 	flag.Parse()
 	rhos, err := parseRhos(*rhoFlag)
@@ -97,6 +107,33 @@ func main() {
 		fmt.Printf("check: %d load points reproduced bit-for-bit, all with nonzero goodput\n", len(pts))
 	}
 
+	var chaosPts []bench.ChaosPoint
+	if *chaosRun {
+		chaosPts = bench.RunChaosCurve(*seed, *horizon)
+		fmt.Println()
+		bench.WriteChaosCurve(os.Stdout, chaosPts)
+		if *check {
+			again := bench.RunChaosCurve(*seed, *horizon)
+			for i, p := range chaosPts {
+				if p.Fingerprint != again[i].Fingerprint {
+					fmt.Fprintf(os.Stderr, "servebench: chaos regime %s fingerprint drifted: %s vs %s\n",
+						p.Regime, p.Fingerprint, again[i].Fingerprint)
+					os.Exit(1)
+				}
+			}
+			// The fault-free baseline must be indistinguishable from the
+			// plain serving path at the same load.
+			plain := serve.RunCurve(cfg, []float64{1.0})[0]
+			if chaosPts[0].Fingerprint != plain.Fingerprint {
+				fmt.Fprintf(os.Stderr, "servebench: chaos baseline %s != plain rho=1.0 %s: idle fault plumbing is not inert\n",
+					chaosPts[0].Fingerprint, plain.Fingerprint)
+				os.Exit(1)
+			}
+			fmt.Printf("check: %d chaos regimes reproduced bit-for-bit; baseline matches plain serving\n",
+				len(chaosPts))
+		}
+	}
+
 	if *jsonPath != "" {
 		d := doc{
 			GeneratedAt: time.Now().UTC().Format(time.RFC3339),
@@ -107,6 +144,7 @@ func main() {
 			Seed:        *seed,
 			CapacityRPS: serve.Capacity(cfg),
 			Serve:       pts,
+			Chaos:       chaosPts,
 		}
 		buf, err := json.MarshalIndent(d, "", "  ")
 		if err != nil {

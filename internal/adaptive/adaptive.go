@@ -239,6 +239,23 @@ func RunAdaptive(s Scenario, arms []Arm, startIdx int, cfg Config) Outcome {
 	return o
 }
 
+// PrecisionArms returns the two-arm precision spectrum a serving-layer
+// controller moves along on a single device: a degraded int8 arm
+// (fastest, least accurate) and the nominal-precision arm — ordered
+// fastest→most-accurate as Controller requires. Model is left at the
+// zero value: a multi-model server applies only the arm's Precision,
+// per request. Accuracy priors follow the measured quantization gap
+// (int8 trades a little clean-condition accuracy and more under
+// degradation).
+func PrecisionArms(dev device.ID, nominal device.Precision) []Arm {
+	return []Arm{
+		{Name: "int8@" + dev.String(), Dev: dev, Precision: device.INT8,
+			Accuracy: 0.97, RobustAccuracy: 0.75},
+		{Name: nominal.String() + "@" + dev.String(), Dev: dev, Precision: nominal,
+			Accuracy: 0.995, RobustAccuracy: 0.90},
+	}
+}
+
 // DefaultArms returns the three-arm spectrum the paper's §4.2.4
 // discussion implies: fast edge nano, balanced edge medium, accurate
 // workstation x-large. Accuracy priors follow the measured Fig. 3/4

@@ -125,3 +125,24 @@ func TestOutcomeDeterministic(t *testing.T) {
 		t.Fatalf("adaptive run not deterministic: %+v vs %+v", a, b)
 	}
 }
+
+func TestPrecisionArms(t *testing.T) {
+	arms := PrecisionArms(device.OrinNano, device.FP32)
+	if len(arms) != 2 {
+		t.Fatalf("precision spectrum has %d arms, want 2", len(arms))
+	}
+	// Fastest → most accurate, as Controller requires: int8 degraded
+	// arm first, nominal precision second.
+	if arms[0].Precision != device.INT8 || arms[1].Precision != device.FP32 {
+		t.Fatalf("arm precisions %v, %v: want int8 then nominal", arms[0].Precision, arms[1].Precision)
+	}
+	if arms[0].Dev != device.OrinNano || arms[1].Dev != device.OrinNano {
+		t.Fatal("precision arms must stay on the serving device")
+	}
+	if arms[0].Accuracy >= arms[1].Accuracy || arms[0].RobustAccuracy >= arms[1].RobustAccuracy {
+		t.Fatal("degraded arm must trade accuracy for speed")
+	}
+	if arms[0].Model != arms[1].Model {
+		t.Fatal("precision arms must not change the model")
+	}
+}

@@ -131,3 +131,43 @@ func TestFleetStudyContentionGrows(t *testing.T) {
 		t.Fatal("fleet study output incomplete")
 	}
 }
+
+func TestChaosStudy(t *testing.T) {
+	sc := Scale{Data: 0.003, TimingFrames: 10, W: 320, H: 240, Seed: 42, TrainFrac: 0.25}
+	st := RunChaosStudy(sc)
+	if len(st.Points) != 4 {
+		t.Fatalf("chaos study has %d regimes, want 4", len(st.Points))
+	}
+	base := st.Points[0]
+	if base.Regime != "baseline" || base.FaultEpisodes != 0 || base.Adaptations != 0 {
+		t.Fatalf("baseline regime carries fault accounting: %+v", base)
+	}
+	if base.DetectDeltaPct != 0 {
+		t.Fatalf("baseline clear-condition delta %.1f%%, want 0", base.DetectDeltaPct)
+	}
+	for _, p := range st.Points[1:] {
+		if p.FaultEpisodes == 0 {
+			t.Fatalf("%s regime injected no fault episodes", p.Regime)
+		}
+		if p.GoodputPerSec >= base.GoodputPerSec {
+			t.Fatalf("%s goodput %.0f not below baseline %.0f", p.Regime, p.GoodputPerSec, base.GoodputPerSec)
+		}
+		if p.DetectDeltaPct > 0 {
+			t.Fatalf("%s condition %s improved detection by %.1f%%", p.Regime, p.Condition, p.DetectDeltaPct)
+		}
+		if p.Fingerprint == base.Fingerprint {
+			t.Fatalf("%s regime fingerprint identical to baseline", p.Regime)
+		}
+	}
+	// The degraded conditions must actually cost detection accuracy
+	// somewhere in the sweep.
+	worst := 0.0
+	for _, p := range st.Points {
+		if p.DetectDeltaPct < worst {
+			worst = p.DetectDeltaPct
+		}
+	}
+	if worst == 0 {
+		t.Fatal("no paired condition degraded detection accuracy")
+	}
+}

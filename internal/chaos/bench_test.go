@@ -1,0 +1,36 @@
+package chaos_test
+
+import (
+	"testing"
+
+	"ocularone/internal/chaos"
+	"ocularone/internal/serve"
+)
+
+// BenchmarkChaosSteadyState measures the serving hot loop with all
+// three fault processes and the adaptive-precision controller active,
+// per simulated millisecond at 2x overload. The warm phase runs long
+// enough to cycle through outages, storms, and link episodes (pool at
+// cap, scratch grown, controller exercised), after which the CI gate
+// asserts 0 allocs/op — chaos must not cost the steady state its
+// allocation-free guarantee.
+func BenchmarkChaosSteadyState(b *testing.B) {
+	cfg := serve.DefaultConfig(1e18, 42) // horizon unused: driven by AdvanceTo
+	cfg.Traffic.RatePerSec = 2 * serve.Capacity(cfg)
+	cfg.Disrupt = chaos.New(chaos.Combined(7))
+	cfg.Adapt.Enabled = true
+	s := serve.NewServer(cfg)
+	s.AdvanceTo(10_000) // warm: several fault episodes of each kind
+	start := s.Offered()
+	t := 10_000.0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t += 1.0
+		s.AdvanceTo(t)
+	}
+	b.StopTimer()
+	if n := s.Offered() - start; n > 0 && b.Elapsed().Seconds() > 0 {
+		b.ReportMetric(float64(n)/b.Elapsed().Seconds(), "sim_req/s")
+	}
+}

@@ -1,0 +1,198 @@
+package chaos
+
+import (
+	"ocularone/internal/rng"
+	"ocularone/internal/serve"
+	"ocularone/internal/thermal"
+)
+
+// Dropout configures the device-failure process: a two-state Markov
+// chain (up/down) with exponential holding times. Both fields must be
+// positive to enable it.
+type Dropout struct {
+	// MTBFMS is the mean up-time between failures.
+	MTBFMS float64
+	// MTTRMS is the mean outage duration (time to restart).
+	MTTRMS float64
+}
+
+// Storm configures the thermal-storm process: exponential clear gaps
+// and storm durations, with the storm's ambient rise mapped through
+// thermal.StormStress onto the executor's throttle factor.
+type Storm struct {
+	MeanGapMS float64
+	MeanDurMS float64
+	// AmbientRiseC is the heat event's rise over nominal ambient;
+	// thermal.StormStress(AmbientRiseC) is the imposed inflation.
+	AmbientRiseC float64
+}
+
+// Link configures the edge–server link-degradation process:
+// exponential clear gaps and episode durations, during which every
+// completion pays ExtraRTTMS and every arrival is lost with LossProb.
+type Link struct {
+	MeanGapMS  float64
+	MeanDurMS  float64
+	ExtraRTTMS float64
+	LossProb   float64
+}
+
+// Config is one chaos scenario: up to three independent fault
+// processes sharing a seed. The zero value (and any config whose
+// processes are all disabled) injects nothing — a server configured
+// with it replays the fault-free schedule bit for bit.
+type Config struct {
+	Seed    uint64
+	Dropout Dropout
+	Storm   Storm
+	Link    Link
+}
+
+// Enabled reports whether any fault process is configured to fire.
+func (c Config) Enabled() bool {
+	return (c.Dropout.MTBFMS > 0 && c.Dropout.MTTRMS > 0) ||
+		(c.Storm.MeanGapMS > 0 && c.Storm.MeanDurMS > 0 && c.Storm.AmbientRiseC > 0) ||
+		(c.Link.MeanGapMS > 0 && c.Link.MeanDurMS > 0 && (c.Link.ExtraRTTMS > 0 || c.Link.LossProb > 0))
+}
+
+// Process indices of Injector.procs.
+const (
+	pDropout = iota
+	pStorm
+	pLink
+	numProcs
+)
+
+var procLabels = [numProcs]string{"dropout", "storm", "link"}
+
+// proc is one alternating-renewal fault process: active toggles at
+// nextMS, with holding times drawn from the process's own rng stream.
+type proc struct {
+	r       *rng.RNG
+	nextMS  float64
+	active  bool
+	enabled bool
+}
+
+// Injector implements serve.Disruption: it multiplexes the configured
+// fault processes onto the server's single outstanding fault event.
+// Each process draws from its own labelled split of the seed, so
+// enabling or disabling one process never shifts another's schedule.
+// Apply allocates nothing — the steady-state 0 allocs/op guarantee of
+// the serve loop survives chaos.
+type Injector struct {
+	cfg   Config
+	procs [numProcs]proc
+}
+
+// New creates an injector for the scenario. Call serve.Config.Disrupt
+// = New(cfg); the server calls Reset and Apply.
+func New(cfg Config) *Injector { return &Injector{cfg: cfg} }
+
+// Reset rewinds every fault process and returns the first event time.
+func (in *Injector) Reset() (float64, bool) {
+	root := rng.New(in.cfg.Seed)
+	in.procs[pDropout] = proc{enabled: in.cfg.Dropout.MTBFMS > 0 && in.cfg.Dropout.MTTRMS > 0}
+	in.procs[pStorm] = proc{enabled: in.cfg.Storm.MeanGapMS > 0 && in.cfg.Storm.MeanDurMS > 0 && in.cfg.Storm.AmbientRiseC > 0}
+	in.procs[pLink] = proc{enabled: in.cfg.Link.MeanGapMS > 0 && in.cfg.Link.MeanDurMS > 0 && (in.cfg.Link.ExtraRTTMS > 0 || in.cfg.Link.LossProb > 0)}
+	gaps := [numProcs]float64{in.cfg.Dropout.MTBFMS, in.cfg.Storm.MeanGapMS, in.cfg.Link.MeanGapMS}
+	for i := range in.procs {
+		p := &in.procs[i]
+		if !p.enabled {
+			continue
+		}
+		p.r = root.Split(procLabels[i])
+		p.nextMS = p.r.Exp(gaps[i])
+	}
+	return in.next()
+}
+
+// next returns the earliest pending transition across enabled
+// processes.
+func (in *Injector) next() (float64, bool) {
+	t, ok := 0.0, false
+	for i := range in.procs {
+		p := &in.procs[i]
+		if p.enabled && (!ok || p.nextMS < t) {
+			t, ok = p.nextMS, true
+		}
+	}
+	return t, ok
+}
+
+// Apply fires every process transition due at tMS — imposing or
+// lifting its fault on the server — and returns the next event time.
+func (in *Injector) Apply(s *serve.Server, tMS float64) (float64, bool) {
+	for i := range in.procs {
+		p := &in.procs[i]
+		if !p.enabled || p.nextMS > tMS {
+			continue
+		}
+		p.active = !p.active
+		switch i {
+		case pDropout:
+			if p.active {
+				// The outage duration is drawn at failure time, so the
+				// server can shed doomed arrivals against the known
+				// restore instant; the restore is this process's next
+				// transition.
+				d := p.r.Exp(in.cfg.Dropout.MTTRMS)
+				s.FailDevice(tMS, tMS+d)
+				p.nextMS = tMS + d
+			} else {
+				s.RecoverDevice(tMS)
+				p.nextMS = tMS + p.r.Exp(in.cfg.Dropout.MTBFMS)
+			}
+		case pStorm:
+			if p.active {
+				s.SetThermalStress(tMS, thermal.StormStress(in.cfg.Storm.AmbientRiseC))
+				p.nextMS = tMS + p.r.Exp(in.cfg.Storm.MeanDurMS)
+			} else {
+				s.SetThermalStress(tMS, 0)
+				p.nextMS = tMS + p.r.Exp(in.cfg.Storm.MeanGapMS)
+			}
+		case pLink:
+			if p.active {
+				s.SetLink(tMS, in.cfg.Link.ExtraRTTMS, in.cfg.Link.LossProb)
+				p.nextMS = tMS + p.r.Exp(in.cfg.Link.MeanDurMS)
+			} else {
+				s.SetLink(tMS, 0, 0)
+				p.nextMS = tMS + p.r.Exp(in.cfg.Link.MeanGapMS)
+			}
+		}
+	}
+	return in.next()
+}
+
+// Canonical regimes of the ext-chaos study, scaled so a 10 s horizon
+// sees several complete fault episodes of each kind.
+
+// Baseline is the zero-fault scenario: it must replay the fault-free
+// serving study bit for bit (the golden-determinism gate pins this).
+func Baseline(seed uint64) Config { return Config{Seed: seed} }
+
+// DropoutRegime fails the device every ~2 s for ~400 ms.
+func DropoutRegime(seed uint64) Config {
+	return Config{Seed: seed, Dropout: Dropout{MTBFMS: 2000, MTTRMS: 400}}
+}
+
+// StormRegime imposes ~800 ms thermal storms (+18 °C ambient) every
+// ~1.5 s — roughly a 0.55x service-rate hit while active.
+func StormRegime(seed uint64) Config {
+	return Config{Seed: seed, Storm: Storm{MeanGapMS: 1500, MeanDurMS: 800, AmbientRiseC: 18}}
+}
+
+// LinkRegime degrades the link for ~600 ms episodes every ~1.5 s:
+// +40 ms round trip and 15% arrival loss while degraded.
+func LinkRegime(seed uint64) Config {
+	return Config{Seed: seed, Link: Link{MeanGapMS: 1500, MeanDurMS: 600, ExtraRTTMS: 40, LossProb: 0.15}}
+}
+
+// Combined runs all three processes at once — the scenario the golden
+// chaos fingerprints pin.
+func Combined(seed uint64) Config {
+	c := DropoutRegime(seed)
+	c.Storm = StormRegime(seed).Storm
+	c.Link = LinkRegime(seed).Link
+	return c
+}

@@ -1,0 +1,129 @@
+package chaos_test
+
+import (
+	"testing"
+
+	"ocularone/internal/chaos"
+	"ocularone/internal/serve"
+)
+
+// run executes one horizon-and-drain serving study at the given rho,
+// optionally chaos-injected and precision-adaptive, and returns the
+// server (for Fingerprint) plus its result.
+func run(t testing.TB, horizon float64, seed uint64, rho float64, cc *chaos.Config, adapt bool) (*serve.Server, serve.Result) {
+	t.Helper()
+	cfg := serve.DefaultConfig(horizon, seed)
+	cfg.Traffic.RatePerSec = rho * serve.Capacity(cfg)
+	if cc != nil {
+		cfg.Disrupt = chaos.New(*cc)
+	}
+	cfg.Adapt.Enabled = adapt
+	s := serve.NewServer(cfg)
+	s.AdvanceTo(cfg.HorizonMS)
+	s.Drain()
+	res := s.Result()
+	if err := res.CheckInvariants(); err != nil {
+		t.Fatalf("invariants: %v", err)
+	}
+	return s, res
+}
+
+// TestZeroFaultParity pins the composability contract: a server with a
+// zero-fault injector replays the injector-free schedule bit for bit.
+func TestZeroFaultParity(t *testing.T) {
+	for _, seed := range []uint64{1, 42} {
+		base, _ := run(t, 4000, seed, 1.0, nil, false)
+		cc := chaos.Baseline(seed)
+		if cc.Enabled() {
+			t.Fatal("baseline config reports enabled")
+		}
+		inj, _ := run(t, 4000, seed, 1.0, &cc, false)
+		if base.Fingerprint() != inj.Fingerprint() {
+			t.Fatalf("seed %d: zero-fault injector diverged: %016x vs %016x",
+				seed, base.Fingerprint(), inj.Fingerprint())
+		}
+	}
+}
+
+// TestChaosDeterminism: a chaos run is a pure function of its seeds —
+// identical twice over, different under a different chaos seed.
+func TestChaosDeterminism(t *testing.T) {
+	cc := chaos.Combined(7)
+	a, ra := run(t, 6000, 42, 1.0, &cc, true)
+	b, rb := run(t, 6000, 42, 1.0, &cc, true)
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatalf("same seeds diverged: %016x vs %016x", a.Fingerprint(), b.Fingerprint())
+	}
+	if ra.FaultEpisodes != rb.FaultEpisodes || ra.Lost != rb.Lost {
+		t.Fatalf("fault accounting diverged: %+v vs %+v", ra, rb)
+	}
+	cc2 := chaos.Combined(8)
+	c, _ := run(t, 6000, 42, 1.0, &cc2, true)
+	if a.Fingerprint() == c.Fingerprint() {
+		t.Fatal("different chaos seeds produced identical runs")
+	}
+	if ra.FaultEpisodes == 0 {
+		t.Fatal("combined regime injected no fault episodes")
+	}
+}
+
+// TestDropoutRecovery: outages open fault episodes, service stops
+// while down, and the backlog measurably recovers after restores.
+func TestDropoutRecovery(t *testing.T) {
+	cc := chaos.DropoutRegime(3)
+	_, res := run(t, 10000, 42, 1.0, &cc, false)
+	if res.FaultEpisodes == 0 {
+		t.Fatal("dropout regime produced no fault episodes")
+	}
+	if res.Recovered == 0 {
+		t.Fatal("no episode ever recovered")
+	}
+	if res.Recovered > res.FaultEpisodes {
+		t.Fatalf("recovered %d > episodes %d", res.Recovered, res.FaultEpisodes)
+	}
+	if res.MeanRecoveryMS < 0 || res.MaxRecoveryMS < res.MeanRecoveryMS {
+		t.Fatalf("recovery stats inconsistent: mean %v max %v", res.MeanRecoveryMS, res.MaxRecoveryMS)
+	}
+	if res.Completed == 0 {
+		t.Fatal("nothing completed despite restarts")
+	}
+	// Outages cost goodput versus the healthy baseline.
+	_, base := run(t, 10000, 42, 1.0, nil, false)
+	if res.GoodputPerSec >= base.GoodputPerSec {
+		t.Fatalf("dropout goodput %v not below baseline %v", res.GoodputPerSec, base.GoodputPerSec)
+	}
+}
+
+// TestLinkLoss: degraded-link episodes lose arrivals into the shed
+// ledger's lost sub-count.
+func TestLinkLoss(t *testing.T) {
+	cc := chaos.LinkRegime(5)
+	_, res := run(t, 10000, 42, 1.0, &cc, false)
+	if res.Lost == 0 {
+		t.Fatal("link regime lost no arrivals")
+	}
+	if res.Lost > res.Shed {
+		t.Fatalf("lost %d exceeds shed %d", res.Lost, res.Shed)
+	}
+	if res.FaultEpisodes == 0 {
+		t.Fatal("link regime opened no fault episodes")
+	}
+}
+
+// TestStormAdaptation: thermal storms push the adaptive-precision
+// controller into degraded service; without the controller no request
+// is ever degraded.
+func TestStormAdaptation(t *testing.T) {
+	cc := chaos.StormRegime(9)
+	_, res := run(t, 10000, 42, 1.0, &cc, true)
+	if res.Adaptations == 0 {
+		t.Fatal("controller never adapted under thermal storms")
+	}
+	if res.DegradedReqs == 0 {
+		t.Fatal("no request was served degraded under storms")
+	}
+	_, off := run(t, 10000, 42, 1.0, &cc, false)
+	if off.DegradedReqs != 0 || off.Adaptations != 0 {
+		t.Fatalf("adaptation disabled but degraded %d / adaptations %d", off.DegradedReqs, off.Adaptations)
+	}
+}

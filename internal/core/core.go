@@ -179,6 +179,13 @@ var experiments = map[string]Experiment{
 			return nil
 		},
 	},
+	"ext-chaos": {
+		Name: "ext-chaos", Desc: "Extension: fault injection with managed recovery — goodput and detection quality per chaos regime",
+		Run: func(s *Suite, w io.Writer) error {
+			bench.WriteChaosStudy(w, bench.RunChaosStudy(s.Scale))
+			return nil
+		},
+	},
 }
 
 // ExperimentNames lists the available experiment IDs in a stable order.

@@ -1,0 +1,50 @@
+package dataset
+
+import (
+	"testing"
+
+	"ocularone/internal/scene"
+)
+
+// TestWithCondition: condition-stamped copies render degraded frames
+// against unchanged ground truth, and the Clear stamp is a rendering
+// no-op.
+func TestWithCondition(t *testing.T) {
+	d := Build(Config{Scale: 0.001, Seed: 11})
+	it := d.Items[0]
+
+	base := d.Render(it)
+	clearCopy := d.WithCondition(scene.Clear)
+	rc := clearCopy.Render(clearCopy.Items[0])
+	for i := range base.Image.Pix {
+		if base.Image.Pix[i] != rc.Image.Pix[i] {
+			t.Fatalf("clear-stamped render diverged at pixel byte %d", i)
+		}
+	}
+
+	night := d.WithCondition(scene.Night)
+	if len(night.Items) != len(d.Items) {
+		t.Fatalf("WithCondition changed item count %d -> %d", len(d.Items), len(night.Items))
+	}
+	rn := night.Render(night.Items[0])
+	if rn.Item.Condition != scene.Night {
+		t.Fatalf("rendered item condition %v, want night", rn.Item.Condition)
+	}
+	same := true
+	for i := range base.Image.Pix {
+		if base.Image.Pix[i] != rn.Image.Pix[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("night render identical to clear render")
+	}
+	if base.Truth.HasVIP != rn.Truth.HasVIP || base.Truth.VestBox != rn.Truth.VestBox {
+		t.Fatal("condition changed ground truth")
+	}
+	// The original dataset is untouched.
+	if d.Items[0].Condition != scene.Clear {
+		t.Fatal("WithCondition mutated the source dataset")
+	}
+}

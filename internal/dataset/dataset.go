@@ -22,6 +22,11 @@ type Item struct {
 	// are grossly wrong. It models the label noise of uncurated scrapes
 	// (the "1k random images" baseline of Fig. 1); curated items have 0.
 	BoxJitter float64
+	// Condition renders the item under an environmental degradation
+	// (night/rain/occlusion); the zero value Clear renders bit for bit
+	// as before the field existed. Ground truth is unchanged — degraded
+	// items probe detection quality, not labels.
+	Condition scene.Condition
 }
 
 // Dataset is an ordered collection of item descriptors sharing one render
@@ -112,6 +117,7 @@ func (d *Dataset) Render(it Item) Rendered {
 	}
 	r := rng.New(it.Seed)
 	s := sampleScene(cat, r)
+	s.Condition = it.Condition
 	cam := scene.DefaultCamera(d.W, d.H, s.CamHeightM)
 	im, gt := scene.Render(s, cam)
 	if it.Attack.Kind != NoAttack {
@@ -267,6 +273,19 @@ func (d *Dataset) WithBoxJitter(sigma float64) *Dataset {
 	out.Items = append([]Item(nil), d.Items...)
 	for i := range out.Items {
 		out.Items[i].BoxJitter = sigma
+	}
+	return out
+}
+
+// WithCondition returns a copy of the dataset whose items render under
+// the given environmental condition — the degraded-scene variants the
+// chaos study pairs with its fault regimes. scene.Clear returns an
+// identical-rendering copy.
+func (d *Dataset) WithCondition(c scene.Condition) *Dataset {
+	out := &Dataset{W: d.W, H: d.H, Seed: d.Seed}
+	out.Items = append([]Item(nil), d.Items...)
+	for i := range out.Items {
+		out.Items[i].Condition = c
 	}
 	return out
 }

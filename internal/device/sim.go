@@ -68,6 +68,12 @@ type Executor struct {
 	// Thermal state: exponential moving average of the duty cycle.
 	duty       float64
 	lastArrive float64
+
+	// stress is the externally imposed service-time inflation (ambient
+	// heat waves, datacenter cooling faults) fault-injection layers set
+	// through SetThermalStress. Zero — the default — replays every
+	// pre-chaos schedule bit for bit.
+	stress float64
 }
 
 // throttle constants: edge devices lose up to this fraction of speed at
@@ -84,12 +90,40 @@ func NewExecutor(dev ID, seed uint64) *Executor {
 }
 
 // throttleFactor returns the service-time inflation for the current
-// thermal state.
+// thermal state: the duty-cycle throttle of passively cooled edge
+// devices, compounded with any externally imposed ambient stress (see
+// SetThermalStress). Ambient stress applies to every device class —
+// a cooling fault slows the actively cooled workstation too.
 func (e *Executor) throttleFactor() float64 {
-	if !Registry(e.Device).IsEdge() {
-		return 1
+	f := 1.0
+	if Registry(e.Device).IsEdge() {
+		f += throttleMaxEdge * e.duty
 	}
-	return 1 + throttleMaxEdge*e.duty
+	return f * (1 + e.stress)
+}
+
+// SetThermalStress imposes an external service-time inflation s >= 0 on
+// top of the duty-cycle throttle: service times scale by (1+s) while it
+// is set. Fault-injection layers drive it from the internal/thermal
+// ambient model (thermal storms); 0 restores nominal behaviour.
+func (e *Executor) SetThermalStress(s float64) {
+	if s < 0 {
+		s = 0
+	}
+	e.stress = s
+}
+
+// ThermalStress reports the externally imposed inflation.
+func (e *Executor) ThermalStress() float64 { return e.stress }
+
+// HoldUntil blocks the executor's stream until tMS: jobs accepted later
+// start no earlier than tMS. It models fail-stop outages and device
+// restarts — the hold is idle time, so it cools the thermal duty EMA
+// like any other gap. A hold in the past is a no-op.
+func (e *Executor) HoldUntil(tMS float64) {
+	if tMS > e.busyMS {
+		e.busyMS = tMS
+	}
 }
 
 // updateDuty folds one service interval into the duty-cycle EMA.

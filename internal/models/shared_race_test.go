@@ -1,0 +1,79 @@
+package models
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestAcquireSharedConcurrent hammers the shared plan cache from many
+// goroutines (run under -race in CI): every acquirer of the same key
+// must get the same pointers, the ledger must count every acquisition,
+// and distinct keys must stay distinct entries.
+func TestAcquireSharedConcurrent(t *testing.T) {
+	ResetShared()
+	t.Cleanup(ResetShared)
+
+	const (
+		workers = 8
+		rounds  = 6
+	)
+	type got struct {
+		key  int
+		net  interface{}
+		plan interface{}
+	}
+	results := make(chan got, workers*rounds*2)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				// Two fp32 keys (alternating) and one quantized key.
+				if (w+i)%2 == 0 {
+					n, p := AcquireShared(V8Nano, 2, 7, 96, 96)
+					results <- got{key: 0, net: n, plan: p}
+				} else {
+					n, p := AcquireShared(Bodypose, 2, 7, 96, 96)
+					results <- got{key: 1, net: n, plan: p}
+				}
+				n, p := AcquireSharedQuantized(V8Nano, 2, 7, 2, 96, 96)
+				results <- got{key: 2, net: n, plan: p}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(results)
+
+	first := map[int]got{}
+	total := 0
+	for g := range results {
+		total++
+		f, seen := first[g.key]
+		if !seen {
+			first[g.key] = g
+			continue
+		}
+		if f.net != g.net || f.plan != g.plan {
+			t.Fatalf("key %d returned different pointers across goroutines", g.key)
+		}
+	}
+	if first[0].net == first[1].net || first[0].plan == first[2].plan {
+		t.Fatal("distinct keys shared an artifact")
+	}
+
+	st := SharedStats()
+	if st.Entries != 3 {
+		t.Fatalf("cache holds %d entries, want 3", st.Entries)
+	}
+	if st.Acquires != total {
+		t.Fatalf("ledger counted %d acquires, want %d", st.Acquires, total)
+	}
+	if st.ResidentFloats <= 0 || st.DemandFloats < st.ResidentFloats {
+		t.Fatalf("ledger inconsistent: resident %d, demand %d", st.ResidentFloats, st.DemandFloats)
+	}
+	// Every acquisition past the first per key is deduplicated memory.
+	if st.SharedFloats() <= 0 {
+		t.Fatalf("no floats deduplicated across %d acquires of 3 artifacts", total)
+	}
+}

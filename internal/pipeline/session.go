@@ -72,6 +72,11 @@ type Session struct {
 	// once per placement and reuse the plan across waves; see
 	// EnginePolicy.
 	Engine EnginePolicy
+	// Outages injects device downtime windows into the run: each entry
+	// holds its device's stream until ToMS once the first frame at or
+	// after FromMS arrives. Nil (or never-reached outages) replays the
+	// outage-free schedule bit for bit. See Outage.
+	Outages []Outage
 
 	local *device.Cluster
 }
@@ -204,11 +209,16 @@ type execEnv struct {
 	// one-time compile surcharge, every later frame reuses the plan.
 	compiled map[string]Placement
 	compiles int
+	// outages is the merged session+fleet downtime schedule, sorted by
+	// onset; outageCur is the next not-yet-applied entry.
+	outages   []Outage
+	outageCur int
 }
 
 func (s *Session) env(shared *device.Cluster) *execEnv {
 	return &execEnv{sess: s, place: s.Graph.Placements(), shared: shared,
-		skips: map[string]int{}, compiled: map[string]Placement{}}
+		skips: map[string]int{}, compiled: map[string]Placement{},
+		outages: sortedOutages(s.Outages, nil)}
 }
 
 // exFor resolves a device to an executor: edge devices are the drone's
@@ -346,6 +356,7 @@ func (s *Session) Run(shared *device.Cluster) (StreamResult, error) {
 	for i, f := range s.extract() {
 		arrival := s.arrivalAt(i, period)
 		runner.closeWindow(arrival)
+		env.applyOutages(arrival)
 		if !env.admit(arrival) {
 			env.dropFrame(f.FrameIndex)
 			continue
@@ -388,6 +399,12 @@ type Fleet struct {
 	// sharing the workstation become batched inferences. Disabled (the
 	// zero value), the replay is bit-identical to per-frame execution.
 	Batch BatchPolicy
+	// Outages injects fleet-wide device downtime: each entry is merged
+	// into every session's schedule, so an outage on a shared device
+	// (e.g. the workstation) is applied once no matter which session's
+	// frame reaches it first (HoldUntil is idempotent). Nil replays the
+	// outage-free schedule bit for bit.
+	Outages []Outage
 }
 
 // fleetEvent is one (session, frame) arrival in the merged timeline.
@@ -457,6 +474,7 @@ func (f *Fleet) Run() ([]StreamResult, error) {
 	results := make([]StreamResult, len(f.Sessions))
 	for i, s := range f.Sessions {
 		envs[i] = s.env(shared)
+		envs[i].outages = sortedOutages(s.Outages, f.Outages)
 		results[i] = StreamResult{Session: s.ID}
 	}
 	runner := newGroupRunner(f.Batch)
@@ -464,6 +482,7 @@ func (f *Fleet) Run() ([]StreamResult, error) {
 	for _, ev := range events {
 		env := envs[ev.sess]
 		runner.closeWindow(ev.arrival)
+		env.applyOutages(ev.arrival)
 		if !env.admit(ev.arrival) {
 			env.dropFrame(fcs[ev.sess][ev.frame].FrameIndex)
 			continue

@@ -33,6 +33,46 @@ func (b Background) String() string {
 	}
 }
 
+// Condition enumerates environmental degradations a scene can be
+// rendered under. The zero value Clear applies no degradation, so
+// every pre-condition scene renders bit for bit as before; the other
+// conditions are the degraded-visibility regimes the chaos study pairs
+// with its fault regimes to quantify detection-quality deltas.
+type Condition int
+
+const (
+	// Clear is nominal daylight — no degradation.
+	Clear Condition = iota
+	// Night darkens the frame far past dusk and amplifies sensor noise.
+	Night
+	// Rain washes contrast, blurs, and draws rain streaks.
+	Rain
+	// Occlusion places a foreground obstruction over part of the VIP.
+	Occlusion
+	// NumConditions is the number of conditions.
+	NumConditions
+)
+
+// String returns the lowercase condition name.
+func (c Condition) String() string {
+	switch c {
+	case Clear:
+		return "clear"
+	case Night:
+		return "night"
+	case Rain:
+		return "rain"
+	case Occlusion:
+		return "occlusion"
+	default:
+		return fmt.Sprintf("condition(%d)", int(c))
+	}
+}
+
+// AllConditions lists every condition in rendering order, for studies
+// that sweep them.
+func AllConditions() []Condition { return []Condition{Clear, Night, Rain, Occlusion} }
+
 // EntityKind enumerates renderable actors and props.
 type EntityKind int
 
@@ -100,6 +140,9 @@ type Scene struct {
 	SkyTone    uint8   // base sky brightness
 	Clutter    float64 // 0-1 background busy-ness (buildings, trees)
 	Seed       uint64  // texture noise stream
+	// Condition applies an environmental degradation at render time
+	// (zero value Clear renders bit for bit as before it existed).
+	Condition Condition
 }
 
 // KeypointName indexes the 13-point skeleton the pose model estimates,

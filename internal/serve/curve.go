@@ -53,12 +53,8 @@ func RunCurve(cfg Config, rhos []float64) []CurvePoint {
 			Fingerprint:   fmt.Sprintf("%016x", s.Fingerprint()),
 		}
 		// Latency percentiles over completed requests of all classes.
-		var lat Hist
-		for c := range s.tallies {
-			lat.Merge(&s.tallies[c].lat)
-		}
-		p.P50MS = lat.QuantileMS(0.50)
-		p.P99MS = lat.QuantileMS(0.99)
+		p.P50MS = s.LatencyQuantileMS(0.50)
+		p.P99MS = s.LatencyQuantileMS(0.99)
 		if res.Offered > 0 {
 			p.ShedPct = 100 * float64(res.Shed) / float64(res.Offered)
 			p.ExpiredPct = 100 * float64(res.Expired) / float64(res.Offered)

@@ -27,6 +27,18 @@
 //     dispatched through device.Executor — the same simulator, jitter
 //     model, and thermal throttle every other study in the repo uses.
 //
+//   - Faults (faults.go): an explicit fault surface — FailDevice
+//     (fail-stop, in-flight work lost, queued work re-queued),
+//     RecoverDevice, SetThermalStress, SetLink — driven by any
+//     Disruption implementation whose fault schedule runs as ordinary
+//     events in the calendar queue (internal/chaos provides the
+//     seeded Markov-modulated one). AdaptConfig enables managed
+//     degradation: a windowed deadline-miss monitor steering
+//     adaptive.Controller between degraded and nominal precision
+//     arms. The server accounts fault episodes and per-episode
+//     recovery time (fault clear until the backlog drains); a nil
+//     Disruption is bit-for-bit identical to the fault-free server.
+//
 // Run executes one horizon-and-drain study; RunCurve sweeps offered
 // load against Capacity to produce the goodput/p99/shed-rate curves
 // reported by cmd/servebench and the ext-serve bench study. Results

@@ -1,0 +1,106 @@
+package serve
+
+import (
+	"container/heap"
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// refHeap is the reference scheduler the fuzzer checks CalQueue
+// against: a plain binary heap ordered by (TimeMS, seq) — the exact
+// contract CalQueue promises regardless of bucket geometry.
+type refHeap []Event
+
+func (h refHeap) Len() int            { return len(h) }
+func (h refHeap) Less(i, j int) bool  { return eventLess(h[i], h[j]) }
+func (h refHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *refHeap) Push(x interface{}) { *h = append(*h, x.(Event)) }
+func (h *refHeap) Pop() interface{} {
+	old := *h
+	e := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return e
+}
+
+// FuzzCalQueue drives a CalQueue and the reference heap through the
+// same byte-decoded operation stream and fails on any divergence. The
+// decoder is biased toward the geometrically painful inputs: exact-tie
+// timestamps (FIFO order must hold), far-future jumps (the
+// direct-search fallback), and inserts behind the sweep position (the
+// rewind path).
+func FuzzCalQueue(f *testing.F) {
+	// Seed corpus: steady-state mix, all-ties, far-future jump,
+	// behind-the-sweep insert, pop-heavy drain.
+	f.Add([]byte{0x10, 0x20, 0x30, 0x80, 0x81, 0x40, 0x80})
+	f.Add([]byte{0x00, 0x00, 0x00, 0x00, 0x80, 0x80, 0x80, 0x80})
+	f.Add([]byte{0x10, 0xf0, 0x80, 0x10, 0x80, 0x80})
+	f.Add([]byte{0xe0, 0x80, 0x01, 0x80, 0x80})
+	f.Add([]byte{0x80, 0x80, 0x10, 0x80, 0x80})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		q := NewCalQueue(4, 1)
+		ref := &refHeap{}
+		var seq uint64
+		var lastPush float64
+		for len(data) > 0 {
+			op := data[0]
+			data = data[1:]
+			switch {
+			case op >= 0x80: // pop and compare
+				got, ok := q.Pop()
+				if !ok {
+					if ref.Len() != 0 {
+						t.Fatalf("CalQueue empty with %d events in reference", ref.Len())
+					}
+					continue
+				}
+				want := heap.Pop(ref).(Event)
+				if got.TimeMS != want.TimeMS || got.Kind != want.Kind || got.A != want.A {
+					t.Fatalf("pop mismatch: got {t=%v kind=%d a=%d}, want {t=%v kind=%d a=%d}",
+						got.TimeMS, got.Kind, got.A, want.TimeMS, want.Kind, want.A)
+				}
+			default: // push, time decoded from the opcode and trailing bytes
+				var t64 float64
+				switch {
+				case op < 0x20 && len(data) == 0:
+					t64 = lastPush // exact tie with the previous push
+				case op >= 0x60:
+					// Far-future / behind-sweep stress: huge magnitudes.
+					t64 = float64(op&0x1f) * 1e6
+				default:
+					var raw uint16
+					if len(data) >= 2 {
+						raw = binary.LittleEndian.Uint16(data)
+						data = data[2:]
+					}
+					t64 = float64(op&0x3f) + float64(raw)/64
+				}
+				if t64 < 0 || math.IsInf(t64, 0) || math.IsNaN(t64) {
+					continue
+				}
+				lastPush = t64
+				seq++
+				e := Event{TimeMS: t64, Kind: uint8(seq % 5), A: int32(seq)}
+				q.Push(e)
+				// Mirror the queue's seq assignment so tie order matches.
+				e.seq = seq
+				heap.Push(ref, e)
+			}
+		}
+		// Drain both completely: full order must agree.
+		for ref.Len() > 0 {
+			got, ok := q.Pop()
+			if !ok {
+				t.Fatalf("CalQueue drained early with %d events left in reference", ref.Len())
+			}
+			want := heap.Pop(ref).(Event)
+			if got.TimeMS != want.TimeMS || got.A != want.A {
+				t.Fatalf("drain mismatch: got {t=%v a=%d}, want {t=%v a=%d}",
+					got.TimeMS, got.A, want.TimeMS, want.A)
+			}
+		}
+		if _, ok := q.Pop(); ok {
+			t.Fatal("CalQueue still has events after reference drained")
+		}
+	})
+}

@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"math"
 
+	"ocularone/internal/adaptive"
 	"ocularone/internal/device"
 	"ocularone/internal/models"
+	"ocularone/internal/rng"
 )
 
 // Event kinds of the serving simulator.
@@ -17,6 +19,9 @@ const (
 	// evTimer is the micro-batch window expiring for the oldest
 	// undispatched request.
 	evTimer
+	// evFault is the next fault-process transition of the configured
+	// Disruption (see faults.go). At most one is outstanding.
+	evFault
 )
 
 // Config parameterises one serving run: the device and execution mode
@@ -59,6 +64,17 @@ type Config struct {
 	// HorizonMS is the simulated duration arrivals are offered for
 	// (Run drains the queues afterwards).
 	HorizonMS float64
+	// LinkRTTms is the baseline edge–server transfer round trip added
+	// to every completion's latency and deadline check (0 = co-located,
+	// the historic behaviour). Link-degradation episodes add on top.
+	LinkRTTms float64
+	// Disrupt, when non-nil, injects faults: its events ride the same
+	// calendar queue as arrivals and completions, so a chaos run is as
+	// deterministic as a clean one. See faults.go and internal/chaos.
+	Disrupt Disruption
+	// Adapt enables the adaptive-precision degradation loop
+	// (see AdaptConfig in faults.go).
+	Adapt AdaptConfig
 }
 
 // DefaultConfig is the reference serving configuration of the
@@ -105,9 +121,13 @@ type request struct {
 // fifo is one intrusive queue over the request pool.
 type fifo struct{ head, tail int32 }
 
-// tally accumulates one class's counters.
+// tally accumulates one class's counters. lost counts arrivals dropped
+// by a degraded link; every lost request is also counted shed, so the
+// conservation invariants (and the fingerprint, which mixes shed) are
+// untouched by the extra ledger.
 type tally struct {
 	offered, admitted, shed, expired, completed, sloMet int64
+	lost                                                int64
 	lat                                                 Hist
 }
 
@@ -155,6 +175,31 @@ type Server struct {
 	nowMS    float64
 	timerAt  float64
 	draining bool
+
+	// Fault state (mutated through faults.go; all zero when no
+	// Disruption is configured).
+	deviceDown  bool
+	downUntilMS float64
+	linkExtraMS float64
+	linkLoss    float64
+	lossRNG     *rng.RNG
+	// Fault-episode recovery accounting.
+	faultDepth      int
+	queuedAtFault   int64
+	pendingRecovery bool
+	recoverAtMS     float64
+	episodes        int64
+	recoveredN      int64
+	recoverySumMS   float64
+	recoveryMaxMS   float64
+
+	// Adaptive-precision state (nil/false unless Adapt is enabled).
+	ctl            *adaptive.Controller
+	degraded       bool
+	estMSDeg       [models.NumModels]float64
+	fullBatchMSDeg [models.NumModels]float64
+	batchEffDeg    float64
+	degradedReqs   int64
 
 	// dispatch scratch, recycled across batches.
 	jobs      []device.Job
@@ -222,8 +267,18 @@ func NewServer(cfg Config) *Server {
 			s.queues[c][i] = fifo{head: -1, tail: -1}
 		}
 	}
+	// The loss stream is dedicated and only consulted while a
+	// link-degradation episode sets lossProb > 0, so fault-free runs
+	// draw nothing from it and replay historic schedules bit for bit.
+	s.lossRNG = rng.New(cfg.Traffic.Seed ^ 0x6c696e6b6c6f7373)
+	s.initAdapt(cfg, maxB)
 	for ti := range g.tenants {
 		s.q.Push(Event{TimeMS: g.nextArrival(ti), Kind: evArrival, A: int32(ti)})
+	}
+	if cfg.Disrupt != nil {
+		if t, ok := cfg.Disrupt.Reset(); ok {
+			s.q.Push(Event{TimeMS: t, Kind: evFault})
+		}
 	}
 	return s
 }
@@ -259,6 +314,13 @@ func (s *Server) AdvanceTo(tMS float64) {
 // admitted request has completed or expired.
 func (s *Server) Drain() {
 	s.draining = true
+	if s.deviceDown {
+		// The fault source switches off with the arrival source, so the
+		// pending restore event will be ignored; resolve the outage here
+		// — service resumes at the scheduled restore and the backlog
+		// drains from there.
+		s.RecoverDevice(s.downUntilMS)
+	}
 	s.maybeDispatch(s.nowMS)
 	for {
 		e, ok := s.q.Pop()
@@ -287,6 +349,16 @@ func (s *Server) handle(e Event) {
 		}
 		s.timerAt = 0
 		s.maybeDispatch(e.TimeMS)
+	case evFault:
+		if s.draining || s.cfg.Disrupt == nil {
+			return // fault processes switch off with the arrival source
+		}
+		if next, ok := s.cfg.Disrupt.Apply(s, e.TimeMS); ok {
+			s.q.Push(Event{TimeMS: next, Kind: evFault})
+		}
+	}
+	if s.pendingRecovery {
+		s.checkRecovery(e.TimeMS)
 	}
 }
 
@@ -308,6 +380,13 @@ func (s *Server) arrive(ti int, now float64) {
 	// open-loop offered load from the closed-loop benchmark waves.
 	s.q.Push(Event{TimeMS: s.g.nextArrival(ti), Kind: evArrival, A: int32(ti)})
 
+	if s.linkLoss > 0 && s.lossRNG.Bool(s.linkLoss) {
+		// Degraded uplink: the request never reaches admission. Lost is
+		// a sub-ledger of shed, so conservation holds unchanged.
+		s.tallies[c].shed++
+		s.tallies[c].lost++
+		return
+	}
 	if s.cfg.QueueCap > 0 && s.queued >= int64(s.cfg.QueueCap) {
 		s.tallies[c].shed++
 		return
@@ -317,18 +396,29 @@ func (s *Server) arrive(ti int, now float64) {
 		return
 	}
 	if s.cfg.ShedDoomed && deadline > 0 {
-		// Predicted completion: residual service of the in-flight batch,
-		// plus the queued work of this and every more urgent class
-		// rescaled by the batching efficiency, plus this request's own
-		// service.
+		// Predicted completion: residual service of the in-flight batch
+		// (or the remaining outage of a failed device, whichever holds
+		// the stream longer), plus the queued work of this and every
+		// more urgent class rescaled by the batching efficiency, plus
+		// this request's own service and the link round trip.
 		wait := s.ex.AdmissionDelayMS(now)
+		if s.deviceDown && s.downUntilMS-now > wait {
+			wait = s.downUntilMS - now
+		}
 		var ahead float64
 		for cc := Class(0); cc <= c; cc++ {
 			ahead += s.classEstMS[cc]
 		}
-		wait += ahead * s.batchEff
-		if now+wait+est > deadline {
+		eff, own := s.batchEff, est
+		if s.degraded {
+			// classEstMS is charged in nominal units; batchEffDeg is
+			// expressed per nominal unit, so the rescale composes.
+			eff, own = s.batchEffDeg, s.estMSDeg[m]
+		}
+		wait += ahead * eff
+		if now+wait+own+s.cfg.LinkRTTms+s.linkExtraMS > deadline {
 			s.tallies[c].shed++
+			s.observe(true, false)
 			return
 		}
 	}
@@ -356,6 +446,21 @@ func (s *Server) arrive(ti int, now float64) {
 	s.queued++
 
 	s.maybeDispatch(now)
+}
+
+// observe feeds one request outcome to the adaptive-precision
+// controller (no-op when Adapt is off). Expired and doomed-shed
+// requests count as deadline misses — admission and expiry convert
+// would-be late completions into non-completions, so completion
+// misses alone would hide exactly the pressure the controller must
+// react to.
+func (s *Server) observe(missed, degraded bool) {
+	if s.ctl == nil {
+		return
+	}
+	if s.ctl.Observe(missed, degraded) {
+		s.degraded = s.ctl.ArmIndex() == 0
+	}
 }
 
 // alloc takes a request record from the free list, growing the pool
@@ -406,6 +511,7 @@ func (s *Server) liveHead(c Class, qi int, now float64) int32 {
 			return qq.head
 		}
 		s.tallies[c].expired++
+		s.observe(true, false)
 		s.release(s.removeHead(c, qi))
 	}
 	return -1
@@ -418,6 +524,9 @@ func (s *Server) liveHead(c Class, qi int, now float64) int32 {
 // sub-full batches. A held class does not block lower classes — the
 // dispatcher stays work-conserving while the window timer runs.
 func (s *Server) maybeDispatch(now float64) {
+	if s.deviceDown {
+		return // fail-stop: the restore will retrigger
+	}
 	if s.ex.BusyUntilMS() > now {
 		return // the completion event will retrigger
 	}
@@ -466,7 +575,11 @@ func (s *Server) maybeDispatch(now float64) {
 			// lead's last safe dispatch instant.
 			hold := leadArr + s.cfg.Batch.WindowMS
 			if lead.deadlineMS > 0 {
-				if safe := lead.deadlineMS - s.fullBatchMS[lead.model]; safe < hold {
+				full := s.fullBatchMS[lead.model]
+				if s.degraded {
+					full = s.fullBatchMSDeg[lead.model]
+				}
+				if safe := lead.deadlineMS - full - s.cfg.LinkRTTms - s.linkExtraMS; safe < hold {
 					hold = safe
 				}
 			}
@@ -487,6 +600,10 @@ func (s *Server) maybeDispatch(now float64) {
 // repeatedly taking from the least-attained tenant with eligible work —
 // and serves them as one inference.
 func (s *Server) dispatch(c Class, m models.ID, now float64, maxB int) {
+	prec := s.cfg.Precision
+	if s.degraded {
+		prec = device.INT8
+	}
 	s.batchReqs = s.batchReqs[:0]
 	s.jobs = s.jobs[:0]
 	for len(s.batchReqs) < maxB {
@@ -512,7 +629,7 @@ func (s *Server) dispatch(c Class, m models.ID, now float64, maxB int) {
 		s.jobs = append(s.jobs, device.Job{
 			Model:     m,
 			ArrivalMS: now, // the scheduler releases the batch now
-			Precision: s.cfg.Precision,
+			Precision: prec,
 			Engine:    s.cfg.Engine,
 			// Metadata for completion-side accounting.
 			DeadlineMS: r.deadlineMS,
@@ -526,15 +643,27 @@ func (s *Server) dispatch(c Class, m models.ID, now float64, maxB int) {
 	s.comps = s.ex.RunBatchInto(s.comps[:0], s.jobs)
 	finish := s.comps[0].FinishMS
 	start := s.comps[0].StartMS
+	// The response transits the link; a degradation episode's surcharge
+	// counts against the deadline like any other latency.
+	arriveBack := finish + s.cfg.LinkRTTms + s.linkExtraMS
+	degraded := s.degraded
 	for _, ri := range s.batchReqs {
 		r := &s.pool[ri]
 		t := &s.tallies[r.class]
 		t.completed++
-		if r.deadlineMS == 0 || finish <= r.deadlineMS {
+		missed := r.deadlineMS > 0 && arriveBack > r.deadlineMS
+		if !missed {
 			t.sloMet++
 		}
-		t.lat.Add(finish - r.arrivalMS)
+		t.lat.Add(arriveBack - r.arrivalMS)
 		s.tenantCompleted[r.tenant]++
+		if degraded {
+			s.degradedReqs++
+		}
+		// Degraded completions are fed as detection failures — the
+		// accuracy cost of int8 — which is the pressure that upshifts
+		// the controller back to nominal once misses subside.
+		s.observe(missed, degraded)
 		s.release(ri)
 	}
 	s.batches++
@@ -546,10 +675,12 @@ func (s *Server) dispatch(c Class, m models.ID, now float64, maxB int) {
 
 // ClassStats summarises one priority class of a completed run.
 type ClassStats struct {
-	Class     string  `json:"class"`
-	Offered   int64   `json:"offered"`
-	Admitted  int64   `json:"admitted"`
-	Shed      int64   `json:"shed"`
+	Class    string `json:"class"`
+	Offered  int64  `json:"offered"`
+	Admitted int64  `json:"admitted"`
+	Shed     int64  `json:"shed"`
+	// Lost is the link-lost sub-ledger of Shed.
+	Lost      int64   `json:"lost,omitempty"`
 	Expired   int64   `json:"expired"`
 	Completed int64   `json:"completed"`
 	SLOMet    int64   `json:"slo_met"`
@@ -582,6 +713,22 @@ type Result struct {
 	// TenantCompleted is indexed by tenant — the fairness evidence.
 	TenantCompleted []int64 `json:"tenant_completed"`
 	TenantOffered   []int64 `json:"tenant_offered"`
+
+	// Chaos accounting (all zero on fault-free runs).
+	//
+	// Lost is the link-lost sub-ledger of Shed; DegradedReqs counts
+	// completions served at the degraded precision and Adaptations the
+	// controller's arm switches. FaultEpisodes/Recovered and the
+	// recovery times quantify managed recovery: an episode is recovered
+	// when the queue first drains back to its pre-fault depth after the
+	// last overlapping fault clears.
+	Lost           int64   `json:"lost,omitempty"`
+	DegradedReqs   int64   `json:"degraded_reqs,omitempty"`
+	Adaptations    int64   `json:"adaptations,omitempty"`
+	FaultEpisodes  int64   `json:"fault_episodes,omitempty"`
+	Recovered      int64   `json:"recovered,omitempty"`
+	MeanRecoveryMS float64 `json:"mean_recovery_ms,omitempty"`
+	MaxRecoveryMS  float64 `json:"max_recovery_ms,omitempty"`
 }
 
 // Result summarises the run so far (call after AdvanceTo + Drain).
@@ -600,6 +747,7 @@ func (s *Server) Result() Result {
 			Offered:   t.offered,
 			Admitted:  t.admitted,
 			Shed:      t.shed,
+			Lost:      t.lost,
 			Expired:   t.expired,
 			Completed: t.completed,
 			SLOMet:    t.sloMet,
@@ -611,9 +759,20 @@ func (s *Server) Result() Result {
 		res.Offered += t.offered
 		res.Admitted += t.admitted
 		res.Shed += t.shed
+		res.Lost += t.lost
 		res.Expired += t.expired
 		res.Completed += t.completed
 		res.SLOMet += t.sloMet
+	}
+	res.DegradedReqs = s.degradedReqs
+	if s.ctl != nil {
+		res.Adaptations = int64(s.ctl.Switches())
+	}
+	res.FaultEpisodes = s.episodes
+	res.Recovered = s.recoveredN
+	if s.recoveredN > 0 {
+		res.MeanRecoveryMS = s.recoverySumMS / float64(s.recoveredN)
+		res.MaxRecoveryMS = s.recoveryMaxMS
 	}
 	if s.batches > 0 {
 		res.MeanBatch = float64(s.batchedReqs) / float64(s.batches)
@@ -643,6 +802,12 @@ func (r Result) CheckInvariants() error {
 	if r.Admitted != r.Completed+r.Expired {
 		return fmt.Errorf("serve: admitted %d != completed %d + expired %d", r.Admitted, r.Completed, r.Expired)
 	}
+	if r.Lost > r.Shed {
+		return fmt.Errorf("serve: lost %d exceeds shed %d", r.Lost, r.Shed)
+	}
+	if r.Recovered > r.FaultEpisodes {
+		return fmt.Errorf("serve: recovered %d exceeds fault episodes %d", r.Recovered, r.FaultEpisodes)
+	}
 	for _, c := range r.Classes {
 		if c.Offered != c.Admitted+c.Shed {
 			return fmt.Errorf("serve: class %s offered %d != admitted %d + shed %d", c.Class, c.Offered, c.Admitted, c.Shed)
@@ -650,8 +815,22 @@ func (r Result) CheckInvariants() error {
 		if c.Admitted != c.Completed+c.Expired {
 			return fmt.Errorf("serve: class %s admitted %d != completed %d + expired %d", c.Class, c.Admitted, c.Completed, c.Expired)
 		}
+		if c.Lost > c.Shed {
+			return fmt.Errorf("serve: class %s lost %d exceeds shed %d", c.Class, c.Lost, c.Shed)
+		}
 	}
 	return nil
+}
+
+// LatencyQuantileMS returns the q-quantile of completed-request
+// latency across all SLO classes (the cross-class merge the curve and
+// chaos studies report).
+func (s *Server) LatencyQuantileMS(q float64) float64 {
+	var lat Hist
+	for c := range s.tallies {
+		lat.Merge(&s.tallies[c].lat)
+	}
+	return lat.QuantileMS(q)
 }
 
 // Fingerprint hashes every counter and latency bin into one word

@@ -1,0 +1,65 @@
+package thermal
+
+// Device-side thermal model. The LWIR camera above models what the
+// drone *sees*; this file models what the compute devices *feel*: die
+// temperature as a function of ambient conditions and load, and the
+// clock throttling a hot die imposes. The device simulator's duty-cycle
+// EMA (device.Executor) captures self-heating under sustained load;
+// this model supplies the ambient half — heat waves and cooling faults
+// that fault-injection layers (internal/chaos) impose from outside —
+// and maps the combined die temperature to a service-time inflation
+// the executor applies through its throttle factor.
+
+// Nominal operating constants of the simulated deployments: campus
+// ambient, the die-temperature band DVFS governors defend, and the
+// worst-case slowdown a fully throttled part exhibits.
+const (
+	// NominalAmbientC is the baseline outdoor/machine-room ambient.
+	NominalAmbientC = 25.0
+	// SelfHeatC is the steady-state die rise above ambient at full
+	// sustained load (passively cooled edge modules; the actively
+	// cooled workstation re-exports its heat but shares the ambient).
+	SelfHeatC = 42.0
+	// ThrottleStartC is the die temperature where DVFS begins shedding
+	// clocks.
+	ThrottleStartC = 70.0
+	// CriticalC is the die temperature of maximum throttle; governors
+	// hold the die here rather than let it climb further.
+	CriticalC = 95.0
+	// MaxStress is the service-time inflation at CriticalC: a fully
+	// throttled part runs at roughly 1/(1+MaxStress) of nominal speed.
+	MaxStress = 0.9
+)
+
+// DieTempC estimates the steady-state die temperature at the given
+// ambient and utilisation in [0,1]: ambient plus a load-scaled
+// self-heating rise. util outside [0,1] clamps.
+func DieTempC(ambientC, util float64) float64 {
+	if util < 0 {
+		util = 0
+	} else if util > 1 {
+		util = 1
+	}
+	return ambientC + SelfHeatC*util
+}
+
+// StressAt maps a die temperature to the service-time inflation the
+// DVFS governor imposes: 0 below ThrottleStartC, ramping linearly to
+// MaxStress at CriticalC and saturating there.
+func StressAt(dieC float64) float64 {
+	if dieC <= ThrottleStartC {
+		return 0
+	}
+	if dieC >= CriticalC {
+		return MaxStress
+	}
+	return MaxStress * (dieC - ThrottleStartC) / (CriticalC - ThrottleStartC)
+}
+
+// StormStress is the inflation a sustained-load device suffers during
+// an ambient heat event of the given rise above nominal — the one-call
+// bridge fault injectors use: die temperature at full utilisation under
+// the elevated ambient, mapped through the governor curve.
+func StormStress(ambientRiseC float64) float64 {
+	return StressAt(DieTempC(NominalAmbientC+ambientRiseC, 1))
+}

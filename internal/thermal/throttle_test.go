@@ -1,0 +1,43 @@
+package thermal
+
+import "testing"
+
+// TestStressCurve pins the governor curve's shape: zero below the
+// throttle knee, monotone in die temperature, saturating at MaxStress.
+func TestStressCurve(t *testing.T) {
+	if s := StressAt(ThrottleStartC); s != 0 {
+		t.Fatalf("stress at knee = %v, want 0", s)
+	}
+	if s := StressAt(CriticalC + 30); s != MaxStress {
+		t.Fatalf("stress past critical = %v, want %v", s, MaxStress)
+	}
+	prev := -1.0
+	for d := 40.0; d <= 120; d += 2.5 {
+		s := StressAt(d)
+		if s < prev {
+			t.Fatalf("stress not monotone: %v at %v°C after %v", s, d, prev)
+		}
+		if s < 0 || s > MaxStress {
+			t.Fatalf("stress %v out of [0,%v] at %v°C", s, MaxStress, d)
+		}
+		prev = s
+	}
+}
+
+// TestDieTempClamps: utilisation clamps to [0,1] and nominal ambient at
+// full load stays below the throttle knee — baseline schedules must not
+// throttle through the ambient model (the duty EMA owns self-heating).
+func TestDieTempClamps(t *testing.T) {
+	if got, want := DieTempC(25, -1), 25.0; got != want {
+		t.Fatalf("util<0: die %v, want %v", got, want)
+	}
+	if got, want := DieTempC(25, 2), DieTempC(25, 1); got != want {
+		t.Fatalf("util>1: die %v, want %v", got, want)
+	}
+	if s := StormStress(0); s != 0 {
+		t.Fatalf("nominal ambient storm stress = %v, want 0", s)
+	}
+	if a, b := StormStress(10), StormStress(20); !(a > 0 && b > a) {
+		t.Fatalf("storm stress not increasing in ambient rise: %v, %v", a, b)
+	}
+}
