@@ -14,11 +14,15 @@
 // PR 7 adds the chaos curve: per-fault-regime goodput, tail latency
 // and managed-recovery times at the capacity knee, plus the
 // steady-state chaos benchmark guarding the 0 allocs/op event loop.
+// PR 8 adds the integrity curve — measured SDC detection coverage,
+// true goodput, and retry/hedge overhead per integrity regime — plus
+// the steady-state integrity benchmark (retries, hedging, and an
+// active SDC process with the same 0 allocs/op gate).
 //
 // Usage:
 //
-//	go run ./cmd/benchtrace                 # writes BENCH_PR7.json
-//	go run ./cmd/benchtrace -pr 8 -count 3  # next PR, median of 3
+//	go run ./cmd/benchtrace                 # writes BENCH_PR8.json
+//	go run ./cmd/benchtrace -pr 9 -count 3  # next PR, median of 3
 package main
 
 import (
@@ -46,7 +50,7 @@ const headline = "BenchmarkMatMul512$|BenchmarkMatMulYOLO$|BenchmarkMatMulInt8$|
 	"BenchmarkNNForwardYOLOv8NanoCPU$|BenchmarkNNForwardBatchYOLOv8NanoCPU$|" +
 	"BenchmarkNNForwardQuantYOLOv8NanoCPU$|BenchmarkNNPlanExecuteYOLOv8NanoCPU$|" +
 	"BenchmarkNNForwardTRTPoseCPU$|BenchmarkCalQueue$|BenchmarkServeSteadyState$|" +
-	"BenchmarkChaosSteadyState$"
+	"BenchmarkChaosSteadyState$|BenchmarkIntegritySteadyState$"
 
 // benchPkgs are the packages the headline benchmarks live in: the root
 // harness for kernels and network forwards, internal/serve for the
@@ -73,13 +77,14 @@ type trajectory struct {
 	Plans       []models.PlanFootprint `json:"plan_footprints"`
 	Serve       []serve.CurvePoint     `json:"serve_curve,omitempty"`
 	Chaos       []bench.ChaosPoint     `json:"chaos_curve,omitempty"`
+	Integrity   []bench.IntegrityPoint `json:"integrity_curve,omitempty"`
 }
 
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:\s+(\d+) B/op\s+(\d+) allocs/op)?`)
 
 func main() {
 	var (
-		pr        = flag.Int("pr", 7, "PR number for the output file name and document")
+		pr        = flag.Int("pr", 8, "PR number for the output file name and document")
 		out       = flag.String("out", "", "output path (default BENCH_PR<n>.json)")
 		benchRe   = flag.String("bench", headline, "benchmark regexp handed to go test -bench")
 		benchTime = flag.String("benchtime", "1s", "go test -benchtime per benchmark")
@@ -143,6 +148,7 @@ func main() {
 	if *serveSeed != 0 {
 		doc.Serve = bench.RunServeStudy(*serveSeed)
 		doc.Chaos = bench.RunChaosCurve(*serveSeed, 10_000)
+		doc.Integrity = bench.RunIntegrityCurve(*serveSeed, 10_000)
 	}
 
 	buf, err := json.MarshalIndent(doc, "", "  ")
@@ -155,6 +161,6 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchtrace: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("benchtrace: wrote %s (%d benchmarks, %d plan footprints, %d serve points, %d chaos regimes)\n",
-		path, len(doc.Benchmarks), len(doc.Plans), len(doc.Serve), len(doc.Chaos))
+	fmt.Printf("benchtrace: wrote %s (%d benchmarks, %d plan footprints, %d serve points, %d chaos regimes, %d integrity regimes)\n",
+		path, len(doc.Benchmarks), len(doc.Plans), len(doc.Serve), len(doc.Chaos), len(doc.Integrity))
 }

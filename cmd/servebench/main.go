@@ -9,6 +9,7 @@
 //	go run ./cmd/servebench -json serve.json         # + trajectory JSON
 //	go run ./cmd/servebench -check -horizon 2000     # CI determinism gate
 //	go run ./cmd/servebench -chaos -check            # + chaos regimes
+//	go run ./cmd/servebench -integrity -check        # + integrity regimes
 //
 // -check runs every load point twice and fails unless the two passes
 // produce identical fingerprints (bit-for-bit identical arrival traces,
@@ -20,6 +21,15 @@
 // chaos sweep must also reproduce bit for bit, and the fault-free
 // baseline regime must land on exactly the same fingerprint as the
 // plain rho=1.0 load point — fault plumbing is proven inert when idle.
+//
+// -integrity sweeps the end-to-end integrity study at the knee:
+// silent-data-corruption regimes with and without retries, straggler
+// regimes with hedging, and the full integrity scenario — reporting
+// measured detection coverage, true goodput (SLO hits minus served
+// corruptions), and retry/hedge overhead per regime. With -check the
+// sweep must reproduce bit for bit and its fault-free baseline must
+// match the plain rho=1.0 fingerprint — idle integrity plumbing is
+// proven inert exactly like idle fault plumbing.
 package main
 
 import (
@@ -39,15 +49,16 @@ import (
 // doc is the JSON document servebench emits: the trajectory header
 // fields of BENCH_PR<n>.json plus the serving curve.
 type doc struct {
-	GeneratedAt string             `json:"generated_at"`
-	GoVersion   string             `json:"go_version"`
-	GOARCH      string             `json:"goarch"`
-	GOMAXPROCS  int                `json:"gomaxprocs"`
-	HorizonMS   float64            `json:"horizon_ms"`
-	Seed        uint64             `json:"seed"`
-	CapacityRPS float64            `json:"capacity_per_sec"`
-	Serve       []serve.CurvePoint `json:"serve_curve"`
-	Chaos       []bench.ChaosPoint `json:"chaos_curve,omitempty"`
+	GeneratedAt string                 `json:"generated_at"`
+	GoVersion   string                 `json:"go_version"`
+	GOARCH      string                 `json:"goarch"`
+	GOMAXPROCS  int                    `json:"gomaxprocs"`
+	HorizonMS   float64                `json:"horizon_ms"`
+	Seed        uint64                 `json:"seed"`
+	CapacityRPS float64                `json:"capacity_per_sec"`
+	Serve       []serve.CurvePoint     `json:"serve_curve"`
+	Chaos       []bench.ChaosPoint     `json:"chaos_curve,omitempty"`
+	Integrity   []bench.IntegrityPoint `json:"integrity_curve,omitempty"`
 }
 
 func parseRhos(s string) ([]float64, error) {
@@ -70,6 +81,7 @@ func main() {
 		jsonPath = flag.String("json", "", "also write the curve as trajectory JSON")
 		check    = flag.Bool("check", false, "run twice and fail unless fingerprints reproduce")
 		chaosRun = flag.Bool("chaos", false, "also sweep the fault regimes at the capacity knee")
+		integRun = flag.Bool("integrity", false, "also sweep the integrity regimes at the capacity knee")
 	)
 	flag.Parse()
 	rhos, err := parseRhos(*rhoFlag)
@@ -134,6 +146,38 @@ func main() {
 		}
 	}
 
+	var integPts []bench.IntegrityPoint
+	if *integRun {
+		integPts = bench.RunIntegrityCurve(*seed, *horizon)
+		fmt.Println()
+		bench.WriteIntegrityCurve(os.Stdout, integPts)
+		if *check {
+			again := bench.RunIntegrityCurve(*seed, *horizon)
+			for i, p := range integPts {
+				if p.Fingerprint != again[i].Fingerprint {
+					fmt.Fprintf(os.Stderr, "servebench: integrity regime %s fingerprint drifted: %s vs %s\n",
+						p.Regime, p.Fingerprint, again[i].Fingerprint)
+					os.Exit(1)
+				}
+			}
+			plain := serve.RunCurve(cfg, []float64{1.0})[0]
+			if integPts[0].Fingerprint != plain.Fingerprint {
+				fmt.Fprintf(os.Stderr, "servebench: integrity baseline %s != plain rho=1.0 %s: idle integrity plumbing is not inert\n",
+					integPts[0].Fingerprint, plain.Fingerprint)
+				os.Exit(1)
+			}
+			for _, p := range integPts {
+				if p.SDCInjected > 0 && p.DetectCoveragePct < 97 {
+					fmt.Fprintf(os.Stderr, "servebench: integrity regime %s detection coverage %.1f%% below gate\n",
+						p.Regime, p.DetectCoveragePct)
+					os.Exit(1)
+				}
+			}
+			fmt.Printf("check: %d integrity regimes reproduced bit-for-bit; baseline matches plain serving\n",
+				len(integPts))
+		}
+	}
+
 	if *jsonPath != "" {
 		d := doc{
 			GeneratedAt: time.Now().UTC().Format(time.RFC3339),
@@ -145,6 +189,7 @@ func main() {
 			CapacityRPS: serve.Capacity(cfg),
 			Serve:       pts,
 			Chaos:       chaosPts,
+			Integrity:   integPts,
 		}
 		buf, err := json.MarshalIndent(d, "", "  ")
 		if err != nil {

@@ -37,33 +37,61 @@ type Link struct {
 	LossProb   float64
 }
 
-// Config is one chaos scenario: up to three independent fault
+// SDC configures the silent-data-corruption process: exponential clear
+// gaps and episode durations, during which every completion is
+// corrupted with probability Prob — the bit-flip regime the integrity
+// layer's detectors and retries are measured against.
+type SDC struct {
+	MeanGapMS float64
+	MeanDurMS float64
+	Prob      float64
+}
+
+// Straggler configures the slow-device process: exponential clear gaps
+// and episode durations, during which the primary's service times
+// inflate by (1+Factor) — a degrading device running below spec, the
+// regime deadline hedging is measured against.
+type Straggler struct {
+	MeanGapMS float64
+	MeanDurMS float64
+	Factor    float64
+}
+
+// Config is one chaos scenario: up to five independent fault
 // processes sharing a seed. The zero value (and any config whose
 // processes are all disabled) injects nothing — a server configured
 // with it replays the fault-free schedule bit for bit.
 type Config struct {
-	Seed    uint64
-	Dropout Dropout
-	Storm   Storm
-	Link    Link
+	Seed      uint64
+	Dropout   Dropout
+	Storm     Storm
+	Link      Link
+	SDC       SDC
+	Straggler Straggler
 }
 
 // Enabled reports whether any fault process is configured to fire.
 func (c Config) Enabled() bool {
 	return (c.Dropout.MTBFMS > 0 && c.Dropout.MTTRMS > 0) ||
 		(c.Storm.MeanGapMS > 0 && c.Storm.MeanDurMS > 0 && c.Storm.AmbientRiseC > 0) ||
-		(c.Link.MeanGapMS > 0 && c.Link.MeanDurMS > 0 && (c.Link.ExtraRTTMS > 0 || c.Link.LossProb > 0))
+		(c.Link.MeanGapMS > 0 && c.Link.MeanDurMS > 0 && (c.Link.ExtraRTTMS > 0 || c.Link.LossProb > 0)) ||
+		(c.SDC.MeanGapMS > 0 && c.SDC.MeanDurMS > 0 && c.SDC.Prob > 0) ||
+		(c.Straggler.MeanGapMS > 0 && c.Straggler.MeanDurMS > 0 && c.Straggler.Factor > 0)
 }
 
-// Process indices of Injector.procs.
+// Process indices of Injector.procs. New processes append — each draws
+// from its own labelled split of the seed, so adding one never shifts
+// the schedules (or golden fingerprints) of the ones before it.
 const (
 	pDropout = iota
 	pStorm
 	pLink
+	pSDC
+	pStraggle
 	numProcs
 )
 
-var procLabels = [numProcs]string{"dropout", "storm", "link"}
+var procLabels = [numProcs]string{"dropout", "storm", "link", "sdc", "straggle"}
 
 // proc is one alternating-renewal fault process: active toggles at
 // nextMS, with holding times drawn from the process's own rng stream.
@@ -95,7 +123,9 @@ func (in *Injector) Reset() (float64, bool) {
 	in.procs[pDropout] = proc{enabled: in.cfg.Dropout.MTBFMS > 0 && in.cfg.Dropout.MTTRMS > 0}
 	in.procs[pStorm] = proc{enabled: in.cfg.Storm.MeanGapMS > 0 && in.cfg.Storm.MeanDurMS > 0 && in.cfg.Storm.AmbientRiseC > 0}
 	in.procs[pLink] = proc{enabled: in.cfg.Link.MeanGapMS > 0 && in.cfg.Link.MeanDurMS > 0 && (in.cfg.Link.ExtraRTTMS > 0 || in.cfg.Link.LossProb > 0)}
-	gaps := [numProcs]float64{in.cfg.Dropout.MTBFMS, in.cfg.Storm.MeanGapMS, in.cfg.Link.MeanGapMS}
+	in.procs[pSDC] = proc{enabled: in.cfg.SDC.MeanGapMS > 0 && in.cfg.SDC.MeanDurMS > 0 && in.cfg.SDC.Prob > 0}
+	in.procs[pStraggle] = proc{enabled: in.cfg.Straggler.MeanGapMS > 0 && in.cfg.Straggler.MeanDurMS > 0 && in.cfg.Straggler.Factor > 0}
+	gaps := [numProcs]float64{in.cfg.Dropout.MTBFMS, in.cfg.Storm.MeanGapMS, in.cfg.Link.MeanGapMS, in.cfg.SDC.MeanGapMS, in.cfg.Straggler.MeanGapMS}
 	for i := range in.procs {
 		p := &in.procs[i]
 		if !p.enabled {
@@ -159,6 +189,22 @@ func (in *Injector) Apply(s *serve.Server, tMS float64) (float64, bool) {
 				s.SetLink(tMS, 0, 0)
 				p.nextMS = tMS + p.r.Exp(in.cfg.Link.MeanGapMS)
 			}
+		case pSDC:
+			if p.active {
+				s.SetSDC(tMS, in.cfg.SDC.Prob)
+				p.nextMS = tMS + p.r.Exp(in.cfg.SDC.MeanDurMS)
+			} else {
+				s.SetSDC(tMS, 0)
+				p.nextMS = tMS + p.r.Exp(in.cfg.SDC.MeanGapMS)
+			}
+		case pStraggle:
+			if p.active {
+				s.SetStraggle(tMS, in.cfg.Straggler.Factor)
+				p.nextMS = tMS + p.r.Exp(in.cfg.Straggler.MeanDurMS)
+			} else {
+				s.SetStraggle(tMS, 0)
+				p.nextMS = tMS + p.r.Exp(in.cfg.Straggler.MeanGapMS)
+			}
 		}
 	}
 	return in.next()
@@ -188,11 +234,37 @@ func LinkRegime(seed uint64) Config {
 	return Config{Seed: seed, Link: Link{MeanGapMS: 1500, MeanDurMS: 600, ExtraRTTMS: 40, LossProb: 0.15}}
 }
 
-// Combined runs all three processes at once — the scenario the golden
-// chaos fingerprints pin.
+// SDCRegime corrupts ~5% of completions during ~700 ms episodes every
+// ~1.5 s — the silent-error regime the integrity study measures
+// detection coverage and goodput-under-SDC against.
+func SDCRegime(seed uint64) Config {
+	return Config{Seed: seed, SDC: SDC{MeanGapMS: 1500, MeanDurMS: 700, Prob: 0.05}}
+}
+
+// StragglerRegime slows the primary 2.5x (Factor 1.5) for ~800 ms
+// episodes every ~1.5 s — the slow-device regime deadline hedging is
+// measured against.
+func StragglerRegime(seed uint64) Config {
+	return Config{Seed: seed, Straggler: Straggler{MeanGapMS: 1500, MeanDurMS: 800, Factor: 1.5}}
+}
+
+// Combined runs the three PR-7 processes at once — the scenario the
+// golden chaos fingerprints pin. The integrity processes are kept out
+// so the historic fingerprints stay valid; IntegrityRegime is the
+// superset scenario.
 func Combined(seed uint64) Config {
 	c := DropoutRegime(seed)
 	c.Storm = StormRegime(seed).Storm
 	c.Link = LinkRegime(seed).Link
+	return c
+}
+
+// IntegrityRegime is the integrity study's scenario: fail-stop dropout
+// plus silent corruption plus stragglers — the faults retries, hedging,
+// and quarantine exist to absorb.
+func IntegrityRegime(seed uint64) Config {
+	c := DropoutRegime(seed)
+	c.SDC = SDCRegime(seed).SDC
+	c.Straggler = StragglerRegime(seed).Straggler
 	return c
 }

@@ -2,8 +2,11 @@
 // stack: it composes Markov-modulated device dropout/restart, thermal-
 // throttle storms (driven through the internal/thermal ambient model
 // onto the executor's throttle factor), and edge–server link
-// degradation (inflated round trips, arrival loss) onto a
-// serve.Server.
+// degradation (inflated round trips, arrival loss), silent-data-
+// corruption episodes (SetSDC — corruption probability per completion,
+// detection modelled at the compute tier's ABFT coverage), and
+// straggler episodes (SetStraggle — a service-time slowdown factor
+// that hedging policies race against) onto a serve.Server.
 //
 // The injector is a serve.Disruption: its fault-process transitions
 // are scheduled as events in the server's own calendar queue, so a

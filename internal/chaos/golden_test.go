@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"ocularone/internal/chaos"
+	"ocularone/internal/device"
 	"ocularone/internal/serve"
 )
 
@@ -31,16 +32,45 @@ var goldenFingerprints = []struct {
 	{43, "chaos", "00b9871c9eaa2156"},
 	{44, "baseline", "2fe7c921744e7674"},
 	{44, "chaos", "2e5c752f9740d458"},
+	// PR-8 integrity regimes: retries under silent corruption, hedging
+	// under stragglers, and the full integrity scenario with both.
+	{42, "retry-sdc", "26da93de82cbe515"},
+	{42, "hedge-straggle", "fa01cf2124a61679"},
+	{42, "integrity", "61916725c57cdc7a"},
+	{43, "retry-sdc", "f15f5463f4a22677"},
+	{43, "hedge-straggle", "8bc04a85307e01e3"},
+	{43, "integrity", "37072fbd69a87c22"},
+	{44, "retry-sdc", "726f00aa1c2026b1"},
+	{44, "hedge-straggle", "95941eb44cb69145"},
+	{44, "integrity", "8db09e3f0b7fa142"},
 }
+
+// goldenRetry and goldenHedge are the pinned integrity policies of the
+// PR-8 golden modes (also the ext-integrity study's policies).
+var (
+	goldenRetry = serve.RetryPolicy{MaxAttempts: 3, BackoffMS: 5}
+	goldenHedge = serve.HedgePolicy{Enabled: true, Device: device.RTX4090}
+)
 
 // goldenRun executes one pinned configuration and returns its
 // fingerprint as hex.
 func goldenRun(seed uint64, mode string) string {
 	cfg := serve.DefaultConfig(10000, seed)
 	cfg.Traffic.RatePerSec = serve.Capacity(cfg)
-	if mode == "chaos" {
+	switch mode {
+	case "chaos":
 		cfg.Disrupt = chaos.New(chaos.Combined(seed))
 		cfg.Adapt.Enabled = true
+	case "retry-sdc":
+		cfg.Disrupt = chaos.New(chaos.SDCRegime(seed))
+		cfg.Integrity.Retry = goldenRetry
+	case "hedge-straggle":
+		cfg.Disrupt = chaos.New(chaos.StragglerRegime(seed))
+		cfg.Integrity.Hedge = goldenHedge
+	case "integrity":
+		cfg.Disrupt = chaos.New(chaos.IntegrityRegime(seed))
+		cfg.Integrity.Retry = goldenRetry
+		cfg.Integrity.Hedge = goldenHedge
 	}
 	s := serve.NewServer(cfg)
 	s.AdvanceTo(cfg.HorizonMS)
@@ -67,5 +97,39 @@ func TestGoldenFingerprints(t *testing.T) {
 func TestPR6Parity(t *testing.T) {
 	if got := goldenRun(42, "baseline"); got != pr6BaselineSeed42 {
 		t.Fatalf("zero-fault run fingerprint %s, want PR-6 pinned %s", got, pr6BaselineSeed42)
+	}
+}
+
+// TestPR7ZeroKnobParity pins the PR-8 replay contract the same way:
+// with every integrity knob individually disabled — one attempt, hedge
+// off, coverage explicitly set — both the PR-7 chaos fingerprints and
+// the PR-6 baseline must reproduce bit for bit. The integrity layer is
+// proven inert when idle, not merely configured away.
+func TestPR7ZeroKnobParity(t *testing.T) {
+	zeroKnob := func(seed uint64, mode string) string {
+		cfg := serve.DefaultConfig(10000, seed)
+		cfg.Traffic.RatePerSec = serve.Capacity(cfg)
+		if mode == "chaos" {
+			cfg.Disrupt = chaos.New(chaos.Combined(seed))
+			cfg.Adapt.Enabled = true
+		}
+		cfg.Integrity = serve.IntegrityConfig{
+			Retry:          serve.RetryPolicy{MaxAttempts: 1, BackoffMS: 5, BudgetFrac: 0.5},
+			Hedge:          serve.HedgePolicy{Enabled: false, Device: device.OrinAGX},
+			DetectCoverage: 0.99,
+		}
+		s := serve.NewServer(cfg)
+		s.AdvanceTo(cfg.HorizonMS)
+		s.Drain()
+		return fmt.Sprintf("%016x", s.Fingerprint())
+	}
+	for _, g := range goldenFingerprints {
+		if g.mode != "baseline" && g.mode != "chaos" {
+			continue
+		}
+		if got := zeroKnob(g.seed, g.mode); got != g.want {
+			t.Fatalf("seed %d %s with zero-knob integrity config: %s, want pinned %s",
+				g.seed, g.mode, got, g.want)
+		}
 	}
 }

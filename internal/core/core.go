@@ -186,6 +186,13 @@ var experiments = map[string]Experiment{
 			return nil
 		},
 	},
+	"ext-integrity": {
+		Name: "ext-integrity", Desc: "Extension: end-to-end integrity — SDC detection coverage, retry/hedge overhead, goodput under corruption",
+		Run: func(s *Suite, w io.Writer) error {
+			bench.WriteIntegrityCurve(w, bench.RunIntegrityCurve(s.Scale.Seed, 10_000))
+			return nil
+		},
+	},
 }
 
 // ExperimentNames lists the available experiment IDs in a stable order.

@@ -1,0 +1,161 @@
+package device
+
+import "testing"
+
+// TestHealthStartsHealthy: untouched devices are healthy with a
+// perfect score, and clean traffic keeps them there.
+func TestHealthStartsHealthy(t *testing.T) {
+	c := NewCluster(1)
+	c.Executor(RTX4090)
+	if st := c.Health(RTX4090); st != Healthy {
+		t.Fatalf("fresh device state %v, want healthy", st)
+	}
+	if sc := c.HealthScore(RTX4090); sc != 1 {
+		t.Fatalf("fresh device score %v, want 1", sc)
+	}
+	for i := 0; i < 100; i++ {
+		c.ObserveServed(RTX4090, float64(i), true)
+	}
+	if st := c.Health(RTX4090); st != Healthy {
+		t.Fatalf("clean traffic moved state to %v", st)
+	}
+	if sc := c.HealthScore(RTX4090); sc != 1 {
+		t.Fatalf("clean traffic moved score to %v", sc)
+	}
+}
+
+// TestHealthQuarantineOnIntegrityBurst: a burst of unrecovered
+// corruption events drives the score under the quarantine threshold,
+// while a single event does not.
+func TestHealthQuarantineOnIntegrityBurst(t *testing.T) {
+	c := NewCluster(2)
+	c.Executor(OrinNano)
+	c.ObserveIntegrity(OrinNano, 0, false)
+	if st := c.Health(OrinNano); st != Healthy {
+		t.Fatalf("one integrity event quarantined the device (state %v)", st)
+	}
+	for i := 0; i < 20 && c.Health(OrinNano) == Healthy; i++ {
+		c.ObserveIntegrity(OrinNano, float64(i), false)
+	}
+	if st := c.Health(OrinNano); st != Quarantined {
+		t.Fatalf("sustained corruption left state %v, want quarantined", st)
+	}
+	if n := c.Quarantines(OrinNano); n != 1 {
+		t.Fatalf("quarantine count %d, want 1", n)
+	}
+	// Observations while quarantined are ignored — stray results from
+	// cancelled work must not move the hold.
+	sc := c.HealthScore(OrinNano)
+	c.ObserveServed(OrinNano, 10, true)
+	if got := c.HealthScore(OrinNano); got != sc {
+		t.Fatalf("quarantined score moved %v -> %v on a stray observation", sc, got)
+	}
+}
+
+// TestHealthProbationReadmission walks the full state machine:
+// quarantine → hold expiry → probation → clean streak → healthy.
+func TestHealthProbationReadmission(t *testing.T) {
+	c := NewCluster(3)
+	c.Executor(XavierNX)
+	c.MarkDown(XavierNX, 500)
+	if st := c.Health(XavierNX); st != Quarantined {
+		t.Fatalf("MarkDown left state %v", st)
+	}
+	c.Advance(499)
+	if st := c.Health(XavierNX); st != Quarantined {
+		t.Fatal("quarantine lifted before the hold expired")
+	}
+	c.Advance(500)
+	if st := c.Health(XavierNX); st != Probation {
+		t.Fatalf("expired hold left state %v, want probation", st)
+	}
+	if sc := c.HealthScore(XavierNX); sc >= ReadmitAbove || sc < QuarantineBelow {
+		t.Fatalf("probation score %v outside (%v, %v)", sc, QuarantineBelow, ReadmitAbove)
+	}
+	steps := 0
+	for c.Health(XavierNX) == Probation {
+		c.ObserveServed(XavierNX, 600, true)
+		if steps++; steps > 100 {
+			t.Fatal("probation never readmitted under clean traffic")
+		}
+	}
+	if st := c.Health(XavierNX); st != Healthy {
+		t.Fatalf("probation exited to %v, want healthy", st)
+	}
+	if steps < 2 {
+		t.Fatalf("readmitted after %d clean observations; probation should require a streak", steps)
+	}
+}
+
+// TestHealthProbationRelapse: bad outcomes during probation send the
+// device straight back to quarantine.
+func TestHealthProbationRelapse(t *testing.T) {
+	c := NewCluster(4)
+	c.Executor(OrinAGX)
+	c.MarkDown(OrinAGX, 100)
+	c.Advance(100)
+	for i := 0; i < 50 && c.Health(OrinAGX) == Probation; i++ {
+		c.ObserveIntegrity(OrinAGX, 200, false)
+	}
+	if st := c.Health(OrinAGX); st != Quarantined {
+		t.Fatalf("corrupt probation traffic left state %v, want quarantined", st)
+	}
+	if n := c.Quarantines(OrinAGX); n != 2 {
+		t.Fatalf("quarantine count %d, want 2 (original + relapse)", n)
+	}
+}
+
+// TestHealthMarkDownHoldsStream pins the PR-7 composition: MarkDown
+// imposes the same HoldUntil the outage layer used to apply inline, so
+// timing schedules are unchanged by routing outages through health.
+func TestHealthMarkDownHoldsStream(t *testing.T) {
+	c := NewCluster(5)
+	c.MarkDown(RTX4090, 1234)
+	if got := c.Executor(RTX4090).BusyUntilMS(); got != 1234 {
+		t.Fatalf("MarkDown held stream to %v, want 1234", got)
+	}
+	// Extending an existing quarantine keeps the longer hold.
+	c.MarkDown(RTX4090, 900)
+	c.Advance(1000)
+	if st := c.Health(RTX4090); st != Quarantined {
+		t.Fatalf("shorter re-down truncated the hold (state %v)", st)
+	}
+	c.Advance(1234)
+	if st := c.Health(RTX4090); st != Probation {
+		t.Fatalf("state %v after full hold, want probation", st)
+	}
+}
+
+// TestDevicesInDeterministicOrder: DevicesIn enumerates in AllIDs
+// order, only materialised executors, filtered by state; DevicesInto
+// appends without allocating when capacity suffices.
+func TestDevicesInDeterministicOrder(t *testing.T) {
+	c := NewCluster(6)
+	// Materialise out of order; enumeration must still follow AllIDs.
+	c.Executor(RTX4090)
+	c.Executor(OrinNano)
+	c.Executor(OrinAGX)
+	got := c.DevicesIn(Healthy)
+	want := []ID{OrinAGX, OrinNano, RTX4090}
+	if len(got) != len(want) {
+		t.Fatalf("DevicesIn(Healthy) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("DevicesIn(Healthy) = %v, want %v", got, want)
+		}
+	}
+	c.MarkDown(OrinNano, 50)
+	if h := c.DevicesIn(Healthy); len(h) != 2 || h[0] != OrinAGX || h[1] != RTX4090 {
+		t.Fatalf("after quarantine DevicesIn(Healthy) = %v", h)
+	}
+	if q := c.DevicesIn(Quarantined); len(q) != 1 || q[0] != OrinNano {
+		t.Fatalf("DevicesIn(Quarantined) = %v", q)
+	}
+	buf := make([]ID, 0, 4)
+	if allocs := testing.AllocsPerRun(10, func() {
+		buf = c.DevicesInto(buf[:0], Healthy)
+	}); allocs != 0 {
+		t.Fatalf("DevicesInto allocated %.0f times with sufficient capacity", allocs)
+	}
+}

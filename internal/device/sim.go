@@ -74,6 +74,13 @@ type Executor struct {
 	// through SetThermalStress. Zero — the default — replays every
 	// pre-chaos schedule bit for bit.
 	stress float64
+	// slow is the straggler inflation (a degrading device running
+	// persistently below spec: dying fan, ECC retirement storms,
+	// background compaction) set through SetSlowdown. It composes
+	// multiplicatively with stress — a straggling device can also sit
+	// in a heat wave — and zero replays pre-chaos schedules bit for
+	// bit, exactly as stress does.
+	slow float64
 }
 
 // throttle constants: edge devices lose up to this fraction of speed at
@@ -99,8 +106,22 @@ func (e *Executor) throttleFactor() float64 {
 	if Registry(e.Device).IsEdge() {
 		f += throttleMaxEdge * e.duty
 	}
-	return f * (1 + e.stress)
+	return f * (1 + e.stress) * (1 + e.slow)
 }
+
+// SetSlowdown imposes (or, at 0, lifts) a straggler inflation s >= 0:
+// service times scale by (1+s) while it is set, on top of thermal
+// effects. Fault-injection layers drive it from the chaos straggler
+// process.
+func (e *Executor) SetSlowdown(s float64) {
+	if s < 0 {
+		s = 0
+	}
+	e.slow = s
+}
+
+// Slowdown reports the imposed straggler inflation.
+func (e *Executor) Slowdown() float64 { return e.slow }
 
 // SetThermalStress imposes an external service-time inflation s >= 0 on
 // top of the duty-cycle throttle: service times scale by (1+s) while it

@@ -1,0 +1,184 @@
+package nn
+
+// The plan executor's integrity layer: cheap numeric guardrails over
+// arena slots plus ABFT checksum verification of the packed conv GEMMs
+// (tensor/abft.go), with an on-detect path that re-executes the
+// faulted op through the retained reference kernels. Detection is
+// reported as IntegrityEvents and aggregated into per-plan
+// IntegrityStats; the serving tier turns unrecovered events into
+// request-level retries (internal/serve).
+
+// GuardPolicy selects how much of each op's output the numeric
+// sentinels scan after the step runs. The zero value is off.
+type GuardPolicy int
+
+const (
+	// GuardOff disables the sentinels: Execute behaves exactly as
+	// before the integrity layer existed.
+	GuardOff GuardPolicy = iota
+	// GuardSampled probes ~64 strided positions per written value — the
+	// production setting (sub-1% overhead, catches NaN/Inf plumes which
+	// smear across whole planes within an op or two).
+	GuardSampled
+	// GuardFull scans every element of every written value — the
+	// validation setting.
+	GuardFull
+)
+
+// String returns the short policy name.
+func (g GuardPolicy) String() string {
+	switch g {
+	case GuardSampled:
+		return "sampled"
+	case GuardFull:
+		return "full"
+	default:
+		return "off"
+	}
+}
+
+// IntegrityKind labels which detector fired.
+type IntegrityKind int
+
+const (
+	// KindABFT is a GEMM column-checksum mismatch.
+	KindABFT IntegrityKind = iota
+	// KindGuard is a numeric sentinel hit (NaN/Inf/out-of-range).
+	KindGuard
+)
+
+// IntegrityEvent describes one detection. Op names the faulted
+// operation (the conv's layer name for ABFT, a step label for guard
+// hits); Recovered reports whether re-execution produced a clean
+// result — unrecovered events mean the frame's output may be corrupt
+// and the request should be retried or failed upstream.
+type IntegrityEvent struct {
+	Op        string
+	Kind      IntegrityKind
+	Recovered bool
+}
+
+// IntegrityPolicy configures one Execute call's detectors. The zero
+// value disables everything (bit-for-bit the pre-integrity executor).
+type IntegrityPolicy struct {
+	// ABFT verifies every packed conv GEMM against its column
+	// checksums and re-executes mismatches through the reference
+	// kernel.
+	ABFT bool
+	// Guard selects the numeric sentinel policy.
+	Guard GuardPolicy
+	// MaxAbs, when positive, additionally flags |v| > MaxAbs as
+	// corrupt (activations escaping their physical range). 0 checks
+	// only NaN/±Inf.
+	MaxAbs float32
+	// OnEvent, when non-nil, receives every detection synchronously.
+	OnEvent func(IntegrityEvent)
+}
+
+// IntegrityStats aggregates detections across a plan's Execute calls.
+type IntegrityStats struct {
+	ABFTChecks   uint64 // checked GEMM calls
+	ABFTDetected uint64 // checksum mismatches
+	GuardScans   uint64 // sentinel scans
+	GuardHits    uint64 // sentinel detections
+	Recovered    uint64 // detections cleaned by re-execution
+}
+
+// Integrity returns the accumulated detection counters.
+func (p *Plan) Integrity() IntegrityStats { return p.integ }
+
+// ResetIntegrity clears the accumulated detection counters.
+func (p *Plan) ResetIntegrity() { p.integ = IntegrityStats{} }
+
+// note records one detection and forwards it to the policy's observer.
+func (p *Plan) note(ip IntegrityPolicy, op string, kind IntegrityKind, recovered bool) {
+	if kind == KindABFT {
+		p.integ.ABFTDetected++
+	} else {
+		p.integ.GuardHits++
+	}
+	if recovered {
+		p.integ.Recovered++
+	}
+	if ip.OnEvent != nil {
+		ip.OnEvent(IntegrityEvent{Op: op, Kind: kind, Recovered: recovered})
+	}
+}
+
+// guardBad reports whether the slice contains a non-finite value (or
+// one past maxAbs when positive) at the given probe stride. v-v != 0
+// catches NaN and ±Inf in one branch.
+func guardBad(data []float32, stride int, maxAbs float32) bool {
+	if maxAbs > 0 {
+		for i := 0; i < len(data); i += stride {
+			v := data[i]
+			if v-v != 0 || v > maxAbs || v < -maxAbs {
+				return true
+			}
+		}
+		return false
+	}
+	for i := 0; i < len(data); i += stride {
+		v := data[i]
+		if v-v != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// guardProbes is the target probe count of GuardSampled.
+const guardProbes = 64
+
+// guardScan scans every tensor the op at step oi wrote for the current
+// instance. It reports whether a sentinel fired.
+func (inst *planInst) guardScan(oi int, ip IntegrityPolicy) bool {
+	bad := false
+	for _, v := range inst.p.opWrites[oi] {
+		for _, t := range inst.ts[v] {
+			if t == nil {
+				continue
+			}
+			stride := 1
+			if ip.Guard == GuardSampled {
+				stride = (len(t.Data) + guardProbes - 1) / guardProbes
+				if stride < 1 {
+					stride = 1
+				}
+			}
+			if guardBad(t.Data, stride, ip.MaxAbs) {
+				bad = true
+			}
+		}
+	}
+	inst.p.integ.GuardScans++
+	return bad
+}
+
+// guardStep runs the sentinels after step oi and drives the recovery
+// path: re-runnable ops (no read/write overlap) are re-executed once
+// and re-scanned; in-place mutators cannot be replayed in isolation,
+// so their detections report Recovered=false and are left to
+// request-level retry upstream.
+func (inst *planInst) guardStep(oi int, int8Mode bool, ip IntegrityPolicy) {
+	if !inst.guardScan(oi, ip) {
+		return
+	}
+	p := inst.p
+	if p.opInPlace[oi] {
+		p.note(ip, p.opName(oi), KindGuard, false)
+		return
+	}
+	inst.steps[oi](int8Mode)
+	recovered := !inst.guardScan(oi, ip)
+	p.note(ip, p.opName(oi), KindGuard, recovered)
+}
+
+// opName labels one step for event reporting (off the steady path —
+// only detections pay for the formatting).
+func (p *Plan) opName(oi int) string {
+	if c, ok := p.ops[oi].(*convOp); ok {
+		return c.c.Name()
+	}
+	return "step"
+}

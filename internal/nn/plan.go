@@ -61,6 +61,10 @@ type ExecOpts struct {
 	Batch int
 	// Precision selects fp32 (zero value) or int8 kernels.
 	Precision Precision
+	// Integrity configures the silent-error detectors for this call
+	// (integrity.go). The zero value disables them all, leaving Execute
+	// bit-for-bit the pre-integrity executor.
+	Integrity IntegrityPolicy
 }
 
 // planVal is a virtual register: one logical activation flowing through
@@ -103,6 +107,13 @@ type Plan struct {
 
 	slotOf    []int  // per value: arena slot (-1 for input and views)
 	slotClass []uint // per slot: pow2 class of the per-sample volume
+
+	// Integrity-layer metadata (integrity.go): per op, the values it
+	// writes (the guard scan targets) and whether any write aliases one
+	// of its reads (in-place ops cannot be replayed in isolation).
+	opWrites  [][]planVal
+	opInPlace []bool
+	integ     IntegrityStats
 
 	// Shared kernel scratch requirements, per sample (they scale
 	// linearly with batch width at bind time).
@@ -154,6 +165,11 @@ type planInst struct {
 	colsF *tensor.Tensor // shared fp32 im2col scratch
 	bigF  *tensor.Tensor // shared batched-GEMM staging (nb > 1 only)
 	colsB []int8         // shared int8 im2col scratch, bound lazily
+
+	// ip is the calling Execute's integrity policy, published here so
+	// the prebound step closures can consult it without re-binding (a
+	// Plan is not concurrent-safe, so per-call mutation is safe).
+	ip IntegrityPolicy
 }
 
 // planBuilder is the lowering context handed to Module.Lower.
@@ -239,6 +255,20 @@ func Compile(n *Network, c, h, w int) *Plan {
 		p.outs[i] = nodeVals[oi]
 	}
 	p.assignSlots()
+	p.opWrites = make([][]planVal, len(p.ops))
+	p.opInPlace = make([]bool, len(p.ops))
+	for oi, op := range p.ops {
+		reads, writes := op.operands()
+		p.opWrites[oi] = writes
+		for _, wv := range writes {
+			wb := p.vals[wv].base
+			for _, rv := range reads {
+				if p.vals[rv].base == wb {
+					p.opInPlace[oi] = true
+				}
+			}
+		}
+	}
 	return p
 }
 
@@ -410,8 +440,16 @@ func (p *Plan) Execute(xs []*tensor.Tensor, opts ExecOpts) [][]*tensor.Tensor {
 		in[s] = x
 	}
 	int8Mode := opts.Precision == INT8
-	for _, st := range inst.steps {
-		st(int8Mode)
+	inst.ip = opts.Integrity
+	if opts.Integrity.Guard == GuardOff {
+		for _, st := range inst.steps {
+			st(int8Mode)
+		}
+	} else {
+		for oi, st := range inst.steps {
+			st(int8Mode)
+			inst.guardStep(oi, int8Mode, opts.Integrity)
+		}
 	}
 	// Drop the input references: a cached instance must not pin the
 	// caller's frames beyond the call that supplied them.
@@ -614,6 +652,7 @@ func (op *convOp) bind(inst *planInst) stepFn {
 
 	return func(int8Mode bool) {
 		use8 := int8Mode && c.qw != nil
+		abft := inst.ip.ABFT
 		if packed {
 			if use8 {
 				op.qBind(groups, ocg, k)
@@ -621,14 +660,22 @@ func (op *convOp) bind(inst *planInst) stepFn {
 				for g := 0; g < groups; g++ {
 					rs := op.qrs[g*ocg : (g+1)*ocg]
 					for s := 0; s < nb; s++ {
-						tensor.ConvPackedQInto(dsts[s][g], op.qpk[g], ins[s], spec, g*icg, oh, ow, inv, rs, op.ep, g*ocg)
+						if abft {
+							op.checkedConvQ(inst, dsts[s][g], ins[s], g, icg, ocg, inv, rs)
+						} else {
+							tensor.ConvPackedQInto(dsts[s][g], op.qpk[g], ins[s], spec, g*icg, oh, ow, inv, rs, op.ep, g*ocg)
+						}
 					}
 				}
 				return
 			}
 			for g := 0; g < groups; g++ {
 				for s := 0; s < nb; s++ {
-					tensor.ConvPackedInto(dsts[s][g], op.wpk[g], ins[s], spec, g*icg, oh, ow, op.ep, g*ocg)
+					if abft {
+						op.checkedConvF32(inst, dsts[s][g], ins[s], g, icg, ocg)
+					} else {
+						tensor.ConvPackedInto(dsts[s][g], op.wpk[g], ins[s], spec, g*icg, oh, ow, op.ep, g*ocg)
+					}
 				}
 			}
 			return
@@ -646,9 +693,9 @@ func (op *convOp) bind(inst *planInst) stepFn {
 				}
 				rs := op.qrs[g*ocg : (g+1)*ocg]
 				if nb == 1 {
-					tensor.MatMulInt8EpilogueInto(dsts[0][g], op.qws[g], colsQ, rs, op.ep, g*ocg)
+					inst.gemmQ(abft, c.Name(), dsts[0][g], op.qws[g], colsQ, rs, op.ep, g*ocg)
 				} else {
-					tensor.MatMulInt8EpilogueInto(big, op.qws[g], colsQ, rs, op.ep, g*ocg)
+					inst.gemmQ(abft, c.Name(), big, op.qws[g], colsQ, rs, op.ep, g*ocg)
 					scatterGroup(outs, big, g, ocg, nb, plane)
 				}
 			}
@@ -659,13 +706,85 @@ func (op *convOp) bind(inst *planInst) stepFn {
 				tensor.Im2ColInto(ins[s], cols, spec, g*icg, icg, oh, ow, s*plane, nb*plane)
 			}
 			if nb == 1 {
-				tensor.MatMulEpilogueInto(dsts[0][g], op.wslices[g], cols, op.ep, g*ocg)
+				inst.gemmF32(abft, c.Name(), dsts[0][g], op.wslices[g], cols, op.ep, g*ocg)
 			} else {
-				tensor.MatMulEpilogueInto(big, op.wslices[g], cols, op.ep, g*ocg)
+				inst.gemmF32(abft, c.Name(), big, op.wslices[g], cols, op.ep, g*ocg)
 				scatterGroup(outs, big, g, ocg, nb, plane)
 			}
 		}
 	}
+}
+
+// gemmF32 is the reference-lowering GEMM call site: unchecked when the
+// policy is off, otherwise the checked driver with reference
+// re-execution on a checksum mismatch (the recovered result is
+// bit-identical by the parity contract).
+func (inst *planInst) gemmF32(abft bool, name string, dst, w, cols *tensor.Tensor, ep tensor.Epilogue, chanOff int) {
+	if !abft {
+		tensor.MatMulEpilogueInto(dst, w, cols, ep, chanOff)
+		return
+	}
+	inst.p.integ.ABFTChecks++
+	if tensor.MatMulEpilogueCheckInto(dst, w, cols, ep, chanOff) {
+		return
+	}
+	tensor.MatMulRefEpilogueInto(dst, w, cols, ep, chanOff)
+	inst.p.note(inst.ip, name, KindABFT, true)
+}
+
+// gemmQ is the int8 twin of gemmF32.
+func (inst *planInst) gemmQ(abft bool, name string, dst *tensor.Tensor, w, cols *tensor.QTensor, rowScale []float32, ep tensor.Epilogue, chanOff int) {
+	if !abft {
+		tensor.MatMulInt8EpilogueInto(dst, w, cols, rowScale, ep, chanOff)
+		return
+	}
+	inst.p.integ.ABFTChecks++
+	if tensor.MatMulInt8EpilogueCheckInto(dst, w, cols, rowScale, ep, chanOff) {
+		return
+	}
+	tensor.MatMulInt8RefEpilogueInto(dst, w, cols, rowScale, ep, chanOff)
+	inst.p.note(inst.ip, name, KindABFT, true)
+}
+
+// checkedConvF32 runs one packed fp32 conv group through the ABFT
+// checked driver; on a checksum mismatch it re-executes the group via
+// materialised im2col + the reference GEMM (bit-identical to the clean
+// packed result by the parity contract). Recovery allocates scratch —
+// only faulted frames pay for it.
+func (op *convOp) checkedConvF32(inst *planInst, dst, x *tensor.Tensor, g, icg, ocg int) {
+	c := op.c
+	spec := c.spec
+	inst.p.integ.ABFTChecks++
+	if tensor.ConvPackedCheckInto(dst, op.wpk[g], x, spec, g*icg, op.oh, op.ow, op.ep, g*ocg) {
+		return
+	}
+	k := icg * spec.KH * spec.KW
+	plane := op.oh * op.ow
+	cols := tensor.Scratch.Get(k, plane)
+	tensor.Im2ColInto(x, cols, spec, g*icg, icg, op.oh, op.ow, 0, plane)
+	w := tensor.FromSlice(c.weight.Data[g*ocg*k:(g+1)*ocg*k], ocg, k)
+	tensor.MatMulRefEpilogueInto(dst, w, cols, op.ep, g*ocg)
+	tensor.Scratch.Put(cols)
+	inst.p.note(inst.ip, c.Name(), KindABFT, true)
+}
+
+// checkedConvQ is the int8 twin of checkedConvF32; the reference
+// re-execution replays the quantizing im2col and the int8 reference
+// GEMM over the cached weight views qBind built.
+func (op *convOp) checkedConvQ(inst *planInst, dst, x *tensor.Tensor, g, icg, ocg int, inv float32, rowScale []float32) {
+	c := op.c
+	spec := c.spec
+	inst.p.integ.ABFTChecks++
+	if tensor.ConvPackedQCheckInto(dst, op.qpk[g], x, spec, g*icg, op.oh, op.ow, inv, rowScale, op.ep, g*ocg) {
+		return
+	}
+	k := icg * spec.KH * spec.KW
+	plane := op.oh * op.ow
+	colsB := make([]int8, k*plane)
+	tensor.Im2ColQInto(x, colsB, inv, spec, g*icg, icg, op.oh, op.ow, 0, plane)
+	colsQ := &tensor.QTensor{Shape: []int{k, plane}, Data: colsB}
+	tensor.MatMulInt8RefEpilogueInto(dst, op.qws[g], colsQ, rowScale, op.ep, g*ocg)
+	inst.p.note(inst.ip, c.Name(), KindABFT, true)
 }
 
 // scatterGroup distributes one group's [ocg, nb*plane] GEMM result into

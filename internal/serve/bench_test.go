@@ -51,6 +51,36 @@ func BenchmarkServeSteadyState(b *testing.B) {
 	}
 }
 
+// BenchmarkIntegritySteadyState is BenchmarkServeSteadyState with the
+// whole integrity layer live: bounded retries, hedging onto a second
+// executor, and an active 5% SDC process. The CI gate asserts 0
+// allocs/op here too, and the steady-state overhead budget (<= 10%
+// against the plain loop) is tracked in BENCHMARKS.md.
+func BenchmarkIntegritySteadyState(b *testing.B) {
+	cfg := DefaultConfig(1e18, 42)
+	cfg.Traffic.RatePerSec = 2 * Capacity(cfg)
+	cfg.Integrity = IntegrityConfig{
+		Retry: RetryPolicy{MaxAttempts: 3, BackoffMS: 5},
+		Hedge: HedgePolicy{Enabled: true, Device: cfg.Device},
+	}
+	s := NewServer(cfg)
+	s.SetSDC(0, 0.05)
+	s.SetStraggle(0, 0.5)
+	s.AdvanceTo(5_000)
+	start := s.Offered()
+	t := 5_000.0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t += 1.0
+		s.AdvanceTo(t)
+	}
+	b.StopTimer()
+	if n := s.Offered() - start; n > 0 && b.Elapsed().Seconds() > 0 {
+		b.ReportMetric(float64(n)/b.Elapsed().Seconds(), "sim_req/s")
+	}
+}
+
 // BenchmarkArrivalGen isolates the thinning sampler.
 func BenchmarkArrivalGen(b *testing.B) {
 	g := newGen(DefaultConfig(0, 3).Traffic)

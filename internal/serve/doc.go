@@ -39,6 +39,20 @@
 //     recovery time (fault clear until the backlog drains); a nil
 //     Disruption is bit-for-bit identical to the fault-free server.
 //
+//   - Integrity (integrity.go): end-to-end silent-error recovery.
+//     SetSDC drives a silent-data-corruption process (modelling the
+//     escape rate of the compute tier's ABFT checksums and guard
+//     sentinels as DetectCoverage); detected corruptions are retried
+//     under a bounded, budget-capped RetryPolicy whose re-executions
+//     are ordinary calendar events and whose pending work is visible
+//     to the admission predictor, or flagged and dropped when retries
+//     are off or exhausted. HedgePolicy duplicates predicted-doomed
+//     arrivals onto a second executor — first result wins, budget
+//     capped — converting shed-if-doomed decisions into hedged
+//     admissions under stragglers (SetStraggle). The zero-value
+//     IntegrityConfig replays every prior fingerprint bit for bit,
+//     and the whole layer keeps steady state at 0 allocs/op.
+//
 // Run executes one horizon-and-drain study; RunCurve sweeps offered
 // load against Capacity to produce the goodput/p99/shed-rate curves
 // reported by cmd/servebench and the ext-serve bench study. Results

@@ -22,6 +22,9 @@ const (
 	// evFault is the next fault-process transition of the configured
 	// Disruption (see faults.go). At most one is outstanding.
 	evFault
+	// evRetry is a detected-corrupt request's backoff expiring: the
+	// pooled record (index A) re-enters its FIFO (see integrity.go).
+	evRetry
 )
 
 // Config parameterises one serving run: the device and execution mode
@@ -75,6 +78,12 @@ type Config struct {
 	// Adapt enables the adaptive-precision degradation loop
 	// (see AdaptConfig in faults.go).
 	Adapt AdaptConfig
+	// Integrity configures request-level silent-error handling: retry
+	// of detected corruptions, deadline hedging onto a second device,
+	// and the modelled detection coverage (see integrity.go). The zero
+	// value disables all of it and replays pre-integrity schedules bit
+	// for bit.
+	Integrity IntegrityConfig
 }
 
 // DefaultConfig is the reference serving configuration of the
@@ -112,10 +121,16 @@ type request struct {
 	arrivalMS  float64
 	deadlineMS float64 // 0 = none
 	estMS      float64 // batch-1 service estimate, the admission unit
-	model      models.ID
-	class      Class
-	tenant     int32
-	next       int32
+	// hedgeDoneMS, when positive, is when this request's hedged
+	// duplicate's result arrives back (integrity.go); 0 = not hedged.
+	hedgeDoneMS float64
+	model       models.ID
+	class       Class
+	tenant      int32
+	next        int32
+	// attempts counts service attempts consumed by detected-corrupt
+	// retries (0 until the first detection).
+	attempts uint8
 }
 
 // fifo is one intrusive queue over the request pool.
@@ -192,6 +207,24 @@ type Server struct {
 	recoveredN      int64
 	recoverySumMS   float64
 	recoveryMaxMS   float64
+
+	// Request-integrity state (integrity.go; all zero when the layer
+	// is off and no SDC process ever fired).
+	sdcProb        float64
+	sdcSeen        bool
+	sdcRNG         *rng.RNG
+	exH            *device.Executor // hedge executor, nil unless hedging on
+	retryPendingMS float64          // estMS of detections awaiting their evRetry
+	retries        int64
+	retriesGivenUp int64
+	hedges         int64
+	hedgeWins      int64
+	sdcInjected    int64
+	corruptDetect  int64
+	corruptServed  int64
+	corruptSLOMet  int64
+	hedgeJobs      []device.Job
+	hedgeComps     []device.Completion
 
 	// Adaptive-precision state (nil/false unless Adapt is enabled).
 	ctl            *adaptive.Controller
@@ -271,6 +304,15 @@ func NewServer(cfg Config) *Server {
 	// link-degradation episode sets lossProb > 0, so fault-free runs
 	// draw nothing from it and replay historic schedules bit for bit.
 	s.lossRNG = rng.New(cfg.Traffic.Seed ^ 0x6c696e6b6c6f7373)
+	// Same contract for the corruption stream: only consulted while the
+	// SDC process is active.
+	s.sdcRNG = rng.New(cfg.Traffic.Seed ^ 0x7364637364637364)
+	if cfg.Integrity.Hedge.Enabled {
+		s.exH = device.NewExecutor(cfg.Integrity.Hedge.Device,
+			cfg.Traffic.Seed*0x9e3779b97f4a7c15+uint64(cfg.Integrity.Hedge.Device)+0x6865646765)
+		s.hedgeJobs = make([]device.Job, 0, 1)
+		s.hedgeComps = make([]device.Completion, 0, 1)
+	}
 	s.initAdapt(cfg, maxB)
 	for ti := range g.tenants {
 		s.q.Push(Event{TimeMS: g.nextArrival(ti), Kind: evArrival, A: int32(ti)})
@@ -356,6 +398,9 @@ func (s *Server) handle(e Event) {
 		if next, ok := s.cfg.Disrupt.Apply(s, e.TimeMS); ok {
 			s.q.Push(Event{TimeMS: next, Kind: evFault})
 		}
+	case evRetry:
+		// Retries are admitted work; they land even while draining.
+		s.requeue(e.A, e.TimeMS)
 	}
 	if s.pendingRecovery {
 		s.checkRecovery(e.TimeMS)
@@ -395,17 +440,21 @@ func (s *Server) arrive(ti int, now float64) {
 		s.tallies[c].shed++
 		return
 	}
-	if s.cfg.ShedDoomed && deadline > 0 {
+	hedge := false
+	if deadline > 0 && (s.cfg.ShedDoomed || s.exH != nil) {
 		// Predicted completion: residual service of the in-flight batch
 		// (or the remaining outage of a failed device, whichever holds
 		// the stream longer), plus the queued work of this and every
 		// more urgent class rescaled by the batching efficiency, plus
-		// this request's own service and the link round trip.
+		// this request's own service and the link round trip. Pending
+		// retries are part of the queue the moment they are scheduled
+		// (retryPendingMS), so a detection burst after a fault is
+		// visible here before it lands back in the FIFOs.
 		wait := s.ex.AdmissionDelayMS(now)
 		if s.deviceDown && s.downUntilMS-now > wait {
 			wait = s.downUntilMS - now
 		}
-		var ahead float64
+		ahead := s.retryPendingMS
 		for cc := Class(0); cc <= c; cc++ {
 			ahead += s.classEstMS[cc]
 		}
@@ -417,9 +466,15 @@ func (s *Server) arrive(ti int, now float64) {
 		}
 		wait += ahead * eff
 		if now+wait+own+s.cfg.LinkRTTms+s.linkExtraMS > deadline {
-			s.tallies[c].shed++
-			s.observe(true, false)
-			return
+			// Predicted miss on the primary: hedge if the policy and
+			// budget allow, shed otherwise.
+			if s.exH != nil && s.hedges < s.hedgeBudget() {
+				hedge = true
+			} else if s.cfg.ShedDoomed {
+				s.tallies[c].shed++
+				s.observe(true, false)
+				return
+			}
 		}
 	}
 	s.tallies[c].admitted++
@@ -429,10 +484,15 @@ func (s *Server) arrive(ti int, now float64) {
 	r.arrivalMS = now
 	r.deadlineMS = deadline
 	r.estMS = est
+	r.hedgeDoneMS = 0
 	r.model = m
 	r.class = c
 	r.tenant = int32(ti)
 	r.next = -1
+	r.attempts = 0
+	if hedge {
+		s.hedgeArrival(r, now)
+	}
 	qq := &s.queues[c][ti*numModels+int(m)]
 	if qq.tail >= 0 {
 		s.pool[qq.tail].next = ri
@@ -507,6 +567,13 @@ func (s *Server) liveHead(c Class, qi int, now float64) int32 {
 	qq := &s.queues[c][qi]
 	for qq.head >= 0 {
 		r := &s.pool[qq.head]
+		if r.hedgeDoneMS > 0 && r.hedgeDoneMS <= now {
+			// First result wins: the hedged duplicate is back before the
+			// primary dispatched this copy — serve the hedge result and
+			// cancel the primary copy in-queue.
+			s.completeViaHedge(s.removeHead(c, qi))
+			continue
+		}
 		if r.deadlineMS == 0 || now <= r.deadlineMS {
 			return qq.head
 		}
@@ -647,15 +714,72 @@ func (s *Server) dispatch(c Class, m models.ID, now float64, maxB int) {
 	// counts against the deadline like any other latency.
 	arriveBack := finish + s.cfg.LinkRTTms + s.linkExtraMS
 	degraded := s.degraded
+	cov := s.cfg.Integrity.coverage()
 	for _, ri := range s.batchReqs {
 		r := &s.pool[ri]
+		back := arriveBack
+		hedgeWin := false
+		if r.hedgeDoneMS > 0 && r.hedgeDoneMS < back {
+			back = r.hedgeDoneMS // first result wins
+			hedgeWin = true
+		}
+		servedCorrupt := false
+		if s.sdcProb > 0 && s.sdcRNG.Bool(s.sdcProb) {
+			// Silent corruption on the primary's result. The compute
+			// tier's detectors (ABFT + guards) catch it with the modelled
+			// coverage; a detected corruption is never served.
+			s.sdcInjected++
+			detected := s.sdcRNG.Bool(cov)
+			if detected {
+				s.corruptDetect++
+			}
+			switch {
+			case hedgeWin:
+				// The duplicate's clean result was served either way; the
+				// corrupt primary result is discarded.
+			case detected && r.hedgeDoneMS > 0:
+				// The hedge lost the race but its result is clean and the
+				// primary's is not — serve the hedge result late rather
+				// than retry.
+				back = r.hedgeDoneMS
+				hedgeWin = true
+			case detected && s.cfg.Integrity.Retry.enabled() &&
+				1+int(r.attempts) < s.cfg.Integrity.Retry.MaxAttempts &&
+				s.retries < s.retryBudget():
+				s.scheduleRetry(ri, finish)
+				continue
+			case detected:
+				// Out of attempts or budget: the flagged response is
+				// dropped — a completion that can never meet its SLO, not
+				// a served corruption.
+				s.retriesGivenUp++
+				t := &s.tallies[r.class]
+				t.completed++
+				t.lat.Add(back - r.arrivalMS)
+				s.tenantCompleted[r.tenant]++
+				s.observe(true, degraded)
+				s.release(ri)
+				continue
+			default:
+				// Undetected: served as if clean — the requester cannot
+				// know — and ledgered for the goodput-under-SDC study.
+				s.corruptServed++
+				servedCorrupt = true
+			}
+		}
+		if hedgeWin {
+			s.hedgeWins++
+		}
 		t := &s.tallies[r.class]
 		t.completed++
-		missed := r.deadlineMS > 0 && arriveBack > r.deadlineMS
+		missed := r.deadlineMS > 0 && back > r.deadlineMS
 		if !missed {
 			t.sloMet++
+			if servedCorrupt {
+				s.corruptSLOMet++
+			}
 		}
-		t.lat.Add(arriveBack - r.arrivalMS)
+		t.lat.Add(back - r.arrivalMS)
 		s.tenantCompleted[r.tenant]++
 		if degraded {
 			s.degradedReqs++
@@ -729,6 +853,27 @@ type Result struct {
 	Recovered      int64   `json:"recovered,omitempty"`
 	MeanRecoveryMS float64 `json:"mean_recovery_ms,omitempty"`
 	MaxRecoveryMS  float64 `json:"max_recovery_ms,omitempty"`
+
+	// Integrity accounting (all zero unless the integrity layer is
+	// configured or an SDC episode fired; see integrity.go).
+	//
+	// SDCInjected counts corruptions the fault process imposed;
+	// CorruptDetected the ones the modelled compute-tier detectors
+	// caught (never served), CorruptServed the undetected ones served
+	// as if clean, and CorruptSLOMet the served corruptions that also
+	// met their SLO — the fake-goodput term subtracted to get
+	// goodput-under-SDC. Retries counts re-executions of detected
+	// corruptions, RetriesGivenUp detections dropped flagged when
+	// attempts or budget ran out; Hedges counts duplicated requests and
+	// HedgeWins the ones whose served result came from the hedge device.
+	SDCInjected     int64 `json:"sdc_injected,omitempty"`
+	CorruptDetected int64 `json:"corrupt_detected,omitempty"`
+	CorruptServed   int64 `json:"corrupt_served,omitempty"`
+	CorruptSLOMet   int64 `json:"corrupt_slo_met,omitempty"`
+	Retries         int64 `json:"retries,omitempty"`
+	RetriesGivenUp  int64 `json:"retries_given_up,omitempty"`
+	Hedges          int64 `json:"hedges,omitempty"`
+	HedgeWins       int64 `json:"hedge_wins,omitempty"`
 }
 
 // Result summarises the run so far (call after AdvanceTo + Drain).
@@ -770,6 +915,14 @@ func (s *Server) Result() Result {
 	}
 	res.FaultEpisodes = s.episodes
 	res.Recovered = s.recoveredN
+	res.SDCInjected = s.sdcInjected
+	res.CorruptDetected = s.corruptDetect
+	res.CorruptServed = s.corruptServed
+	res.CorruptSLOMet = s.corruptSLOMet
+	res.Retries = s.retries
+	res.RetriesGivenUp = s.retriesGivenUp
+	res.Hedges = s.hedges
+	res.HedgeWins = s.hedgeWins
 	if s.recoveredN > 0 {
 		res.MeanRecoveryMS = s.recoverySumMS / float64(s.recoveredN)
 		res.MaxRecoveryMS = s.recoveryMaxMS
@@ -807,6 +960,21 @@ func (r Result) CheckInvariants() error {
 	}
 	if r.Recovered > r.FaultEpisodes {
 		return fmt.Errorf("serve: recovered %d exceeds fault episodes %d", r.Recovered, r.FaultEpisodes)
+	}
+	// Integrity ledgers: every injected corruption is detected, served
+	// undetected, or discarded because a hedge result was served instead
+	// — so detected+served never exceeds injected. Every retry and every
+	// flagged give-up traces back to a distinct detection.
+	if r.CorruptDetected+r.CorruptServed > r.SDCInjected {
+		return fmt.Errorf("serve: corrupt detected %d + served %d exceeds injected %d",
+			r.CorruptDetected, r.CorruptServed, r.SDCInjected)
+	}
+	if r.Retries+r.RetriesGivenUp > r.CorruptDetected {
+		return fmt.Errorf("serve: retries %d + given up %d exceed detections %d",
+			r.Retries, r.RetriesGivenUp, r.CorruptDetected)
+	}
+	if r.HedgeWins > r.Hedges {
+		return fmt.Errorf("serve: hedge wins %d exceed hedges %d", r.HedgeWins, r.Hedges)
 	}
 	for _, c := range r.Classes {
 		if c.Offered != c.Admitted+c.Shed {
@@ -860,6 +1028,19 @@ func (s *Server) Fingerprint() uint64 {
 	}
 	for _, n := range s.tenantCompleted {
 		mix(uint64(n))
+	}
+	// The integrity counters join the hash only when the layer is live:
+	// mixing their zeros unconditionally would change every historic
+	// fingerprint, breaking the zero-knob replay contract.
+	if s.integrityLive() {
+		mix(uint64(s.sdcInjected))
+		mix(uint64(s.corruptDetect))
+		mix(uint64(s.corruptServed))
+		mix(uint64(s.corruptSLOMet))
+		mix(uint64(s.retries))
+		mix(uint64(s.retriesGivenUp))
+		mix(uint64(s.hedges))
+		mix(uint64(s.hedgeWins))
 	}
 	return h
 }

@@ -64,6 +64,10 @@ const (
 type PackedA struct {
 	m, k int
 	data []float32
+	// ABFT column checksums (abft.go): csum[kk] = Σ_i A[i,kk] and
+	// acsum[kk] = Σ_i |A[i,kk]|, computed once at pack time so checked
+	// GEMM calls pay nothing to obtain them.
+	csum, acsum []float64
 }
 
 // M reports the packed row count (unpadded).
@@ -109,6 +113,9 @@ func PackWeights(a *Tensor) *PackedA {
 	m, k := a.Shape[0], a.Shape[1]
 	p := &PackedA{m: m, k: k, data: alignedSlice[float32](packALen(m, k))}
 	packATo(p.data, a.Data, m, k)
+	cs := make([]float64, 2*k)
+	p.csum, p.acsum = cs[:k], cs[k:]
+	colChecksumsF32(p.csum, p.acsum, a.Data, m, k)
 	return p
 }
 

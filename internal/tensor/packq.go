@@ -31,6 +31,9 @@ import (
 type PackedQ struct {
 	m, k, k2 int
 	data     []int16
+	// ABFT column checksums in pair-interleaved layout (abft.go):
+	// csum[2·kk2+s] = Σ_i A[i, 2·kk2+s], exact integer sums.
+	csum []int64
 }
 
 // M reports the packed row count (unpadded).
@@ -76,6 +79,8 @@ func PackWeightsQ(data []int8, m, k int) *PackedQ {
 	}
 	p := &PackedQ{m: m, k: k, k2: (k + 1) / 2, data: make([]int16, packQLen(m, k))}
 	packQTo(p.data, data, m, k)
+	p.csum = make([]int64, 2*p.k2)
+	colChecksumsQ(p.csum, data, m, k)
 	return p
 }
 
