@@ -405,6 +405,26 @@ func BenchmarkMatMul512(b *testing.B) {
 	}
 }
 
+// BenchmarkMatMul512Into measures the packed GEMM kernel alone:
+// MatMul's result allocation (4 allocs / ~1 MB per op) is hoisted out
+// so the number is the kernel signal, and ReportAllocs pins the
+// steady-state Into path at zero heap allocations per op.
+func BenchmarkMatMul512Into(b *testing.B) {
+	a := tensor.New(512, 512)
+	c := tensor.New(512, 512)
+	dst := tensor.New(512, 512)
+	r := rng.New(3)
+	for i := range a.Data {
+		a.Data[i] = r.Float32()
+		c.Data[i] = r.Float32()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.MatMulInto(dst, a, c)
+	}
+}
+
 // BenchmarkConv2D measures the im2col convolution kernel on a typical
 // backbone layer shape.
 func BenchmarkConv2D(b *testing.B) {

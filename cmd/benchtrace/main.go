@@ -18,11 +18,15 @@
 // true goodput, and retry/hedge overhead per integrity regime — plus
 // the steady-state integrity benchmark (retries, hedging, and an
 // active SDC process with the same 0 allocs/op gate).
+// PR 9 stamps the document with the GEMM dispatch tier
+// (tensor.KernelTier: generic/sse2/avx2fma/avx512vnni) so kernel
+// numbers are only compared across hosts running the same tier, and
+// adds the allocation-free BenchmarkMatMul512Into kernel signal.
 //
 // Usage:
 //
-//	go run ./cmd/benchtrace                 # writes BENCH_PR8.json
-//	go run ./cmd/benchtrace -pr 9 -count 3  # next PR, median of 3
+//	go run ./cmd/benchtrace                  # writes BENCH_PR9.json
+//	go run ./cmd/benchtrace -pr 10 -count 3  # next PR, median of 3
 package main
 
 import (
@@ -40,12 +44,13 @@ import (
 	"ocularone/internal/bench"
 	"ocularone/internal/models"
 	"ocularone/internal/serve"
+	"ocularone/internal/tensor"
 )
 
 // headline is the benchmark set every trajectory snapshot must cover:
 // the kernel micro-benchmarks the PR acceptance bars are written
 // against, plus the network-level forwards they feed.
-const headline = "BenchmarkMatMul512$|BenchmarkMatMulYOLO$|BenchmarkMatMulInt8$|" +
+const headline = "BenchmarkMatMul512$|BenchmarkMatMul512Into$|BenchmarkMatMulYOLO$|BenchmarkMatMulInt8$|" +
 	"BenchmarkConv2D$|BenchmarkConv2DInt8$|BenchmarkMatVec$|BenchmarkTranspose$|" +
 	"BenchmarkNNForwardYOLOv8NanoCPU$|BenchmarkNNForwardBatchYOLOv8NanoCPU$|" +
 	"BenchmarkNNForwardQuantYOLOv8NanoCPU$|BenchmarkNNPlanExecuteYOLOv8NanoCPU$|" +
@@ -73,6 +78,8 @@ type trajectory struct {
 	GoVersion   string                 `json:"go_version"`
 	GOARCH      string                 `json:"goarch"`
 	GOMAXPROCS  int                    `json:"gomaxprocs"`
+	KernelTier  string                 `json:"kernel_tier"`
+	KernelDesc  string                 `json:"kernel_tier_desc"`
 	Benchmarks  []benchResult          `json:"benchmarks"`
 	Plans       []models.PlanFootprint `json:"plan_footprints"`
 	Serve       []serve.CurvePoint     `json:"serve_curve,omitempty"`
@@ -84,7 +91,7 @@ var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) n
 
 func main() {
 	var (
-		pr        = flag.Int("pr", 8, "PR number for the output file name and document")
+		pr        = flag.Int("pr", 9, "PR number for the output file name and document")
 		out       = flag.String("out", "", "output path (default BENCH_PR<n>.json)")
 		benchRe   = flag.String("bench", headline, "benchmark regexp handed to go test -bench")
 		benchTime = flag.String("benchtime", "1s", "go test -benchtime per benchmark")
@@ -136,6 +143,11 @@ func main() {
 		GoVersion:   runtime.Version(),
 		GOARCH:      runtime.GOARCH,
 		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		// The benchmark subprocess inherits this process's environment,
+		// so it resolves the same tier recorded here (CPUID on the same
+		// host plus the same OCULARONE_KERNEL_TIER override, if any).
+		KernelTier: tensor.KernelTier(),
+		KernelDesc: tensor.KernelTierDesc(),
 	}
 	for _, name := range order {
 		rs := samples[name]
@@ -161,6 +173,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchtrace: %v\n", err)
 		os.Exit(1)
 	}
+	fmt.Printf("benchtrace: kernel tier %s\n", tensor.KernelTierDesc())
 	fmt.Printf("benchtrace: wrote %s (%d benchmarks, %d plan footprints, %d serve points, %d chaos regimes, %d integrity regimes)\n",
 		path, len(doc.Benchmarks), len(doc.Plans), len(doc.Serve), len(doc.Chaos), len(doc.Integrity))
 }

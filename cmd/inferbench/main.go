@@ -213,6 +213,7 @@ func engineMode(modelFlag string, n int, seed uint64, prec device.Precision, eng
 		}
 	}
 	fmt.Printf("engine: %s, %s kernels, %s execution, %d frames at %dx%d\n", m, prec, eng, n, h, w)
+	fmt.Printf("kernel tier: %s\n", tensor.KernelTierDesc())
 	msFrame, allocsFrame := bench.MeasureFrames(n, step)
 	fmt.Printf("total %.2fs, %.1f ms/frame, %.0f allocs/frame\n",
 		msFrame*float64(n)/1e3, msFrame, allocsFrame)

@@ -75,7 +75,12 @@ func clonePlanOuts(outs [][]*tensor.Tensor) [][]*tensor.Tensor {
 // TestPlanABFTRecoveryF32 injects one SDC perturbation into a packed
 // conv GEMM via the kernel fault hook and asserts the full loop: the
 // checksum catches it, the op re-executes through the reference kernel,
-// and the final outputs are bit-identical to a fault-free run.
+// and the final outputs match a fault-free run — bit-identical on
+// non-FMA tiers (reference ≡ packed there), drift-bounded on FMA tiers
+// where the recovered conv's separate-rounding chains feed rounding-
+// level differences into the downstream packed layers (measured
+// ~6e-8 at these shapes; the 1e-4 gate still catches the O(1) errors
+// a real recovery bug produces).
 func TestPlanABFTRecoveryF32(t *testing.T) {
 	defer func() { tensor.ABFTFaultF32 = nil }()
 	net := models.BuildYOLOv8(models.Nano, 2, 41)
@@ -109,8 +114,12 @@ func TestPlanABFTRecoveryF32(t *testing.T) {
 	if events[0].Op == "" {
 		t.Fatal("ABFT event did not name the faulted conv")
 	}
+	var tol float32
+	if tensor.KernelTierFMA() {
+		tol = 1e-4
+	}
 	for oi := range got[0] {
-		if !got[0][oi].Equal(want[0][oi], 0) {
+		if !got[0][oi].Equal(want[0][oi], tol) {
 			t.Fatalf("output %d: recovered execution diverges from fault-free run", oi)
 		}
 	}

@@ -706,33 +706,38 @@ func (op *convOp) bind(inst *planInst) stepFn {
 				tensor.Im2ColInto(ins[s], cols, spec, g*icg, icg, oh, ow, s*plane, nb*plane)
 			}
 			if nb == 1 {
-				inst.gemmF32(abft, c.Name(), dsts[0][g], op.wslices[g], cols, op.ep, g*ocg)
+				inst.gemmF32(abft, dsts[0][g], op.wslices[g], cols, op.ep, g*ocg)
 			} else {
-				inst.gemmF32(abft, c.Name(), big, op.wslices[g], cols, op.ep, g*ocg)
+				inst.gemmF32(abft, big, op.wslices[g], cols, op.ep, g*ocg)
 				scatterGroup(outs, big, g, ocg, nb, plane)
 			}
 		}
 	}
 }
 
-// gemmF32 is the reference-lowering GEMM call site: unchecked when the
-// policy is off, otherwise the checked driver with reference
-// re-execution on a checksum mismatch (the recovered result is
-// bit-identical by the parity contract).
-func (inst *planInst) gemmF32(abft bool, name string, dst, w, cols *tensor.Tensor, ep tensor.Epilogue, chanOff int) {
-	if !abft {
-		tensor.MatMulEpilogueInto(dst, w, cols, ep, chanOff)
-		return
-	}
-	inst.p.integ.ABFTChecks++
-	if tensor.MatMulEpilogueCheckInto(dst, w, cols, ep, chanOff) {
-		return
+// gemmF32 is the reference-lowering GEMM call site, pinned to the
+// reference kernel: lowerConv routed this conv off the packed path on
+// its per-sample shape, and the batched call must take the same kernel
+// even though the batch-widened n can cross the packed threshold — on
+// FMA tiers the packed and reference kernels round differently, and a
+// batch-width-dependent route would break the batched-vs-per-frame
+// bit-exact contract. ABFT coverage for these convs is the reference
+// fallback the checked driver would take at their per-sample shape
+// (counted, never checksummed), exactly as the nb == 1 path behaves.
+func (inst *planInst) gemmF32(abft bool, dst, w, cols *tensor.Tensor, ep tensor.Epilogue, chanOff int) {
+	if abft {
+		inst.p.integ.ABFTChecks++
 	}
 	tensor.MatMulRefEpilogueInto(dst, w, cols, ep, chanOff)
-	inst.p.note(inst.ip, name, KindABFT, true)
 }
 
-// gemmQ is the int8 twin of gemmF32.
+// gemmQ is the int8 counterpart of gemmF32. Unlike fp32 it may route
+// the batch-widened GEMM onto the packed kernel even when the
+// per-sample shape would not: integer accumulation is exact, so every
+// int8 kernel (packed, reference, any tier) produces identical bits
+// and the route cannot affect parity — the batched call keeps the
+// cheaper kernel plus real ABFT coverage when the widened shape
+// qualifies.
 func (inst *planInst) gemmQ(abft bool, name string, dst *tensor.Tensor, w, cols *tensor.QTensor, rowScale []float32, ep tensor.Epilogue, chanOff int) {
 	if !abft {
 		tensor.MatMulInt8EpilogueInto(dst, w, cols, rowScale, ep, chanOff)

@@ -48,6 +48,13 @@ const abftEps = 1.0 / (1 << 24)
 // the worst-case fp32 accumulation error of m length-k dot products
 // sharing the absolute-value bound mag = Σ_i Σ_kk |a|·|b|, plus the
 // (negligible) float64 checksum error folded into a 1% safety factor.
+//
+// The bound is derived for the separate multiply-then-add chain (two
+// roundings per k step → γ_k with k error terms per product). The FMA
+// tiers round once per step, strictly fewer roundings along the same
+// ascending-k chain, so every FMA dot product satisfies the same γ_k
+// bound — the tolerance holds across tiers and needs no per-tier
+// re-derivation, merely losing a little tightness on FMA.
 func abftTol(k int, mag float64) float64 {
 	ku := float64(k) * abftEps
 	return 1.01 * ku / (1 - ku) * mag
@@ -131,15 +138,20 @@ func gemmStripesF32CheckPar[S f32BSource](dst []float32, m, n, k int, apData []f
 // unchecked driver), with the expected column sums accumulated during
 // the panel pack and verified before the epilogue touches the stripe.
 func gemmStripeCheckRangeF32[S f32BSource](dst []float32, m, n, k int, apData []float32, src S, ep Epilogue, chanOff int, csum, acsum []float64, s0, s1 int) bool {
-	bbuf := Scratch.GetRaw(gemmKC * gemmNR)
+	buf := Scratch.GetRaw((gemmKC + gemmMR) * gemmNR)
+	bbuf, ctile := buf[:gemmKC*gemmNR], buf[gemmKC*gemmNR:]
 	epWork := ep.hasWork()
 	ok := true
-	var exp, mag [gemmNR]float64
+	// Fixed max-tier arrays so the checksum rows never escape; only the
+	// first gemmNR entries are live for the selected tier.
+	var expArr, magArr [gemmNRMax]float64
+	nr := gemmNR
+	exp, mag := expArr[:nr], magArr[:nr]
 	for s := s0; s < s1; s++ {
-		j0 := s * gemmNR
+		j0 := s * nr
 		jw := n - j0
-		if jw > gemmNR {
-			jw = gemmNR
+		if jw > nr {
+			jw = nr
 		}
 		for j := range exp {
 			exp[j], mag[j] = 0, 0
@@ -152,7 +164,7 @@ func gemmStripeCheckRangeF32[S f32BSource](dst []float32, m, n, k int, apData []
 			src.pack(bbuf, k0, kc, j0, jw)
 			for kk := 0; kk < kc; kk++ {
 				cs, as := csum[k0+kk], acsum[k0+kk]
-				row := bbuf[kk*gemmNR : kk*gemmNR+gemmNR]
+				row := bbuf[kk*nr : kk*nr+nr]
 				for j, v := range row {
 					b := float64(v)
 					exp[j] += cs * b
@@ -167,14 +179,14 @@ func gemmStripeCheckRangeF32[S f32BSource](dst []float32, m, n, k int, apData []
 				accum = 1
 			}
 			i0 := 0
-			if jw == gemmNR {
+			if jw == nr {
 				for ; i0+gemmMR <= m; i0 += gemmMR {
 					apan := apData[(i0/gemmMR)*k*gemmMR+k0*gemmMR:]
-					gemm4x8(&dst[i0*n+j0], n, &apan[0], &bbuf[0], kc, accum)
+					kernF32(&dst[i0*n+j0], n, &apan[0], &bbuf[0], kc, accum)
 				}
 			}
 			if i0 < m {
-				gemmEdgeF32(dst, n, apData, bbuf, k, k0, kc, i0, m, j0, jw, accum == 1)
+				gemmEdgeF32(dst, n, apData, bbuf, ctile, k, k0, kc, i0, m, j0, jw, accum == 1)
 			}
 		}
 		if ABFTFaultF32 != nil {
@@ -197,14 +209,14 @@ func gemmStripeCheckRangeF32[S f32BSource](dst []float32, m, n, k int, apData []
 			ep.applyCols(dst, 0, m, n, j0, j0+jw, chanOff)
 		}
 	}
-	Scratch.PutRaw(bbuf)
+	Scratch.PutRaw(buf)
 	return ok
 }
 
 // gemmStripesQCheck is gemmStripesQ with exact per-stripe accumulator
 // verification; csum is the pair-interleaved int64 checksum row.
 func gemmStripesQCheck[S qBSource](dst []float32, m, n, k int, apData []int16, src S, rowScale []float32, ep Epilogue, chanOff int, csum []int64) bool {
-	nSliv := (n + gemmNR - 1) / gemmNR
+	nSliv := (n + qNR - 1) / qNR
 	if parallel.Serial() || nSliv == 1 {
 		return gemmStripeCheckRangeQ(dst, m, n, k, apData, src, rowScale, ep, chanOff, csum, 0, nSliv)
 	}
@@ -230,16 +242,20 @@ func gemmStripesQCheckPar[S qBSource](dst []float32, m, n, k int, apData []int16
 // values that produce dst.
 func gemmStripeCheckRangeQ[S qBSource](dst []float32, m, n, k int, apData []int16, src S, rowScale []float32, ep Epilogue, chanOff int, csum []int64, s0, s1 int) bool {
 	k2 := (k + 1) / 2
-	bbuf := ScratchB.Get(k2 * 16)
+	bbuf := ScratchB.Get(k2 * 2 * qNR)
 	epWork := ep.hasWork()
 	ok := true
-	acc := scratchI32.get(4 * gemmNR)
-	var exp, act [gemmNR]int64
+	nr := qNR
+	acc := scratchI32.get(4 * nr)
+	// Fixed max-tier arrays so the checksum rows never escape; only the
+	// first qNR entries are live for the selected tier.
+	var expArr, actArr [qNRMax]int64
+	exp, act := expArr[:nr], actArr[:nr]
 	for s := s0; s < s1; s++ {
-		j0 := s * gemmNR
+		j0 := s * nr
 		jw := n - j0
-		if jw > gemmNR {
-			jw = gemmNR
+		if jw > nr {
+			jw = nr
 		}
 		src.pack(bbuf, j0, jw)
 		for j := range exp {
@@ -247,22 +263,22 @@ func gemmStripeCheckRangeQ[S qBSource](dst []float32, m, n, k int, apData []int1
 		}
 		for kk := 0; kk < k2; kk++ {
 			c0, c1 := csum[kk*2], csum[kk*2+1]
-			row := bbuf[kk*16 : kk*16+16]
-			for j := 0; j < gemmNR; j++ {
+			row := bbuf[kk*2*nr : kk*2*nr+2*nr]
+			for j := 0; j < nr; j++ {
 				exp[j] += c0*int64(row[j*2]) + c1*int64(row[j*2+1])
 			}
 		}
 		i0 := 0
-		if jw == gemmNR {
+		if jw == nr {
 			for ; i0+4 <= m; i0 += 4 {
-				gemmQ4x8(&acc[0], &apData[(i0/4)*k2*8], &bbuf[0], k2)
+				kernQ(&acc[0], &apData[(i0/4)*k2*8], &bbuf[0], k2)
 				if ABFTFaultQ != nil {
 					ABFTFaultQ(acc, i0, j0)
 				}
 				for r := 0; r < 4; r++ {
 					sc := rowScale[i0+r]
-					drow := dst[(i0+r)*n+j0 : (i0+r)*n+j0+gemmNR]
-					ar := acc[r*gemmNR : (r+1)*gemmNR]
+					drow := dst[(i0+r)*n+j0 : (i0+r)*n+j0+nr]
+					ar := acc[r*nr : (r+1)*nr]
 					for j, v := range ar {
 						act[j] += int64(v)
 						drow[j] = float32(v) * sc
@@ -270,18 +286,26 @@ func gemmStripeCheckRangeQ[S qBSource](dst []float32, m, n, k int, apData []int1
 				}
 			}
 		}
-		for i := i0; i < m; i++ {
-			apan := apData[(i/4)*k2*8+(i%4)*2:]
-			sc := rowScale[i]
-			drow := dst[i*n+j0 : i*n+j0+jw]
-			for j := 0; j < jw; j++ {
-				var a int32
-				for kk := 0; kk < k2; kk++ {
-					a += int32(apan[kk*8])*int32(bbuf[kk*16+j*2]) +
-						int32(apan[kk*8+1])*int32(bbuf[kk*16+j*2+1])
+		// Ragged tiles run the same kernel over the zero-padded panels
+		// (exact integer zeros, as in gemmEdgeQ), folding only the live
+		// columns into the actual sums.
+		for ; i0 < m; i0 += 4 {
+			rows := m - i0
+			if rows > 4 {
+				rows = 4
+			}
+			kernQ(&acc[0], &apData[(i0/4)*k2*8], &bbuf[0], k2)
+			if ABFTFaultQ != nil {
+				ABFTFaultQ(acc, i0, j0)
+			}
+			for r := 0; r < rows; r++ {
+				sc := rowScale[i0+r]
+				drow := dst[(i0+r)*n+j0 : (i0+r)*n+j0+jw]
+				ar := acc[r*nr : r*nr+jw]
+				for j, v := range ar {
+					act[j] += int64(v)
+					drow[j] = float32(v) * sc
 				}
-				act[j] += int64(a)
-				drow[j] = float32(a) * sc
 			}
 		}
 		for j := 0; j < jw; j++ {
@@ -384,7 +408,9 @@ var scratchI32 = func() *rawPool[int32] { p := newRawPool[int32](); return &p }(
 // the retained reference kernel (the blocked ikj loop), bypassing the
 // packed-GEMM routing — the re-execution target of the integrity
 // layer's on-detect path. Results are bit-identical to the packed path
-// for finite inputs.
+// for finite inputs on the non-FMA tiers, and within the abftTol drift
+// band of it on the FMA tiers (consumers of a recovery compare with
+// the matching regime).
 func MatMulRefEpilogueInto(dst, a, b *Tensor, ep Epilogue, chanOff int) {
 	m := a.Shape[0]
 	n := b.Shape[1]

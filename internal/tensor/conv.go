@@ -158,10 +158,18 @@ func Conv2DBatch(xs []*Tensor, w, bias *Tensor, spec ConvSpec) []*Tensor {
 		for b, x := range xs {
 			im2colInto(x, cols, spec, g*icg, icg, oh, ow, b*plane, nb*plane)
 		}
-		wslice := FromSlice(
-			w.Data[g*ocg*icg*spec.KH*spec.KW:(g+1)*ocg*icg*spec.KH*spec.KW],
-			ocg, icg*spec.KH*spec.KW)
-		MatMulInto(big, wslice, cols)
+		k := icg * spec.KH * spec.KW
+		wslice := FromSlice(w.Data[g*ocg*k:(g+1)*ocg*k], ocg, k)
+		// Route on the per-sample shape, not the batch-widened one, so
+		// the batch takes the same kernel (packed vs reference) as
+		// Conv2D would per sample: on FMA tiers the two kernels round
+		// differently, and a threshold crossed only by the batched n
+		// would silently break the bit-exact contract above.
+		if UsePackedGEMM(ocg, k, plane) {
+			matMulPackedInto(big, wslice, cols, Epilogue{}, 0)
+		} else {
+			matMulRefInto(big, wslice, cols)
+		}
 		// Scatter the [ocg, nb*plane] group result into per-sample CHW.
 		parallel.For(ocg*nb, func(i int) {
 			c, b := i/nb, i%nb

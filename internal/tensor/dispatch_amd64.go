@@ -1,0 +1,101 @@
+//go:build amd64
+
+package tensor
+
+// CPUID feature probe and the amd64 tier table. SSE2 is part of the
+// amd64 baseline so its tier is unconditional; the AVX2/FMA and
+// AVX-512/VNNI tiers additionally require the OS to have enabled the
+// wider register state (OSXSAVE + XCR0), exactly the checks the
+// runtime's own internal/cpu performs.
+
+// cpuidx executes CPUID with the given leaf/subleaf (see
+// cpuid_amd64.s).
+func cpuidx(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv0 reads XCR0, the OS-enabled extended-state mask (see
+// cpuid_amd64.s). Only valid when CPUID.1:ECX.OSXSAVE is set.
+func xgetbv0() (eax, edx uint32)
+
+// gemmFMA4x24 accumulates a 4-row × 24-column fp32 tile with AVX2/FMA
+// (12 YMM accumulators, one fused multiply-add rounding per k step —
+// see gemm_avx_amd64.s). Contract: gemmKernelF32.
+//
+//go:noescape
+func gemmFMA4x24(c *float32, ldc int, a, b *float32, kc int, accum uintptr)
+
+// gemmQ4x16 computes a 4×16 int32 tile from int8 pair-interleaved
+// panels with AVX2 VPMOVSXBW + VPMADDWD/VPADDD. Contract: gemmKernelQ
+// with qNR = 16.
+//
+//go:noescape
+func gemmQ4x16(acc *int32, a *int16, b *int8, k2 int)
+
+// gemmQ4x32 computes a 4×32 int32 tile with AVX-512 VNNI: VPMOVSXBW
+// widens 32 packed bytes per vector and VPDPWSSD fuses the word-pair
+// multiply-accumulate that the lower tiers spell PMADDWD + PADDD.
+// Contract: gemmKernelQ with qNR = 32.
+//
+//go:noescape
+func gemmQ4x32(acc *int32, a *int16, b *int8, k2 int)
+
+// CPUID.1:ECX feature bits.
+const (
+	cpuidFMA     = 1 << 12
+	cpuidOSXSAVE = 1 << 27
+	cpuidAVX     = 1 << 28
+)
+
+// CPUID.7.0:EBX / :ECX feature bits.
+const (
+	cpuidAVX2       = 1 << 5
+	cpuidAVX512F    = 1 << 16
+	cpuidAVX512BW   = 1 << 30
+	cpuidAVX512VNNI = 1 << 11 // ECX
+)
+
+// XCR0 state-component masks: SSE+AVX (XMM+YMM), and the three
+// AVX-512 components (opmask, ZMM hi256, hi16 ZMM).
+const (
+	xcr0AVX    = 0x6
+	xcr0AVX512 = 0xe0
+)
+
+// archTiers probes CPUID and returns the assembly tiers this CPU can
+// run, lowest first. The fp32 FMA kernel is shared by both upper
+// tiers: the avx512vnni tier upgrades only the int8 path, where
+// doubling the vector width and fusing the pair-accumulate is the
+// win; 512-bit fp32 tiles gain nothing on the downclock-prone single
+// -core hosts this targets.
+func archTiers() []kernelTier {
+	tiers := []kernelTier{
+		{name: TierSSE2, nr: 8, kc: 256, qnr: 8, f32: gemm4x8, q: gemmQ4x8},
+	}
+	maxLeaf, _, _, _ := cpuidx(0, 0)
+	if maxLeaf < 7 {
+		return tiers
+	}
+	_, _, c1, _ := cpuidx(1, 0)
+	if c1&cpuidOSXSAVE == 0 || c1&cpuidAVX == 0 || c1&cpuidFMA == 0 {
+		return tiers
+	}
+	xlo, _ := xgetbv0()
+	if xlo&xcr0AVX != xcr0AVX {
+		return tiers
+	}
+	_, b7, c7, _ := cpuidx(7, 0)
+	if b7&cpuidAVX2 == 0 {
+		return tiers
+	}
+	tiers = append(tiers, kernelTier{
+		name: TierAVX2FMA, nr: 24, kc: 192, qnr: 16, fma: true,
+		f32: gemmFMA4x24, q: gemmQ4x16,
+	})
+	if b7&cpuidAVX512F != 0 && b7&cpuidAVX512BW != 0 &&
+		c7&cpuidAVX512VNNI != 0 && xlo&xcr0AVX512 == xcr0AVX512 {
+		tiers = append(tiers, kernelTier{
+			name: TierAVX512VNNI, nr: 24, kc: 192, qnr: 32, fma: true,
+			f32: gemmFMA4x24, q: gemmQ4x32,
+		})
+	}
+	return tiers
+}

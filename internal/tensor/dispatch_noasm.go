@@ -1,0 +1,7 @@
+//go:build !amd64
+
+package tensor
+
+// archTiers reports no assembly tiers off amd64: the pure-Go generic
+// tier (registered unconditionally by dispatch.go) is the only one.
+func archTiers() []kernelTier { return nil }

@@ -10,22 +10,30 @@
 // and every hot kernel carries a closure-free serial branch
 // (parallel.Serial) so single-core execution allocates nothing.
 //
-// The matrix-multiply core (pack.go, packq.go, gemm_amd64.s) is a
-// BLIS-style packed GEMM: the left operand packs into MR-row
+// The matrix-multiply core (pack.go, packq.go, the assembly kernels)
+// is a BLIS-style packed GEMM: the left operand packs into MR-row
 // micro-panels (once at plan-compile time for conv weights —
 // PackWeights/PackWeightsQ), the right operand packs one KC×NR panel
 // at a time into L1-resident 64-byte-aligned scratch, and a
-// register-blocked micro-kernel (4×8 fp32 tile in SSE assembly on
-// amd64; a 4×8 int32 tile over PMADDWD pairs for int8; pure-Go twins
-// elsewhere) streams the panels. For convolutions the panel pack IS
-// im2col (ConvPackedInto/ConvPackedQInto gather — and for int8,
-// quantize — receptive fields directly), so the k×n cols matrix never
+// register-blocked micro-kernel streams the panels. The kernel pair
+// and its blocking geometry are a dispatch tier, selected at init by
+// CPUID feature detection (dispatch.go) and forceable via
+// SetKernelTier or the OCULARONE_KERNEL_TIER environment variable:
+// pure-Go 4×8 tiles (generic, every GOARCH), SSE2 assembly 4×8 tiles
+// (sse2, the amd64 baseline), an AVX2/FMA 4×24 fp32 tile with a 4×16
+// VPMADDWD int8 tile (avx2fma), and an AVX-512 4×32 VPDPWSSD int8
+// tile (avx512vnni). KernelTier/KernelTierDesc report the selection
+// for benchmark headers. For convolutions the panel pack IS im2col
+// (ConvPackedInto/ConvPackedQInto gather — and for int8, quantize —
+// receptive fields directly), so the k×n cols matrix never
 // materialises. Shapes too small to amortise packing (UsePackedGEMM)
 // fall back to the retained reference kernels, which also serve as
-// the golden parity baseline: every packed path accumulates each
-// output element with the reference's exact ascending-k
-// multiply-then-add chain, so packed and reference results are
-// bit-identical (pinned in pack_test.go at adversarial shapes).
+// the golden parity baseline: int8 and non-FMA fp32 paths accumulate
+// each output element with the reference's exact ascending-k
+// multiply-then-add chain and are bit-identical to it, while the FMA
+// tiers fuse each multiply-add rounding and are drift-bounded instead
+// (KernelTierFMA gates the comparison; pinned per tier in
+// pack_test.go and tier_test.go at adversarial shapes).
 //
 // Three further mechanisms serve the inference hot path:
 //

@@ -2,11 +2,14 @@
 
 package tensor
 
-// The packed-GEMM micro-kernels are SSE2 assembly on amd64 (see
-// gemm_amd64.s). SSE2 is part of the amd64 baseline (GOAMD64=v1), so
-// no runtime feature detection is needed, and the kernels use only
-// single-precision multiply/add (no FMA) so every lane reproduces the
-// scalar reference rounding bit for bit.
+// SSE2 micro-kernels (gemm_amd64.s) — the sse2 dispatch tier. SSE2 is
+// part of the amd64 baseline (GOAMD64=v1), so this tier is always
+// available and needs no CPUID gate; the AVX2/FMA and VNNI tiers live
+// in gemm_avx_amd64.s behind the feature checks in dispatch_amd64.go.
+// These kernels use only single-precision multiply/add (no FMA), so
+// every lane reproduces the scalar reference rounding bit for bit —
+// they are the pinned bit-exact parity baseline the FMA tiers are
+// drift-checked against.
 
 // gemm4x8 accumulates a 4-row × 8-column float32 tile of C from one
 // kc-deep pair of packed panels: a is an A micro-panel (4 floats per k

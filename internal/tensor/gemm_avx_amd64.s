@@ -1,0 +1,203 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func gemmFMA4x24(c *float32, ldc int, a, b *float32, kc int, accum uintptr)
+//
+// 4×24 fp32 register tile: Y0..Y11 hold the accumulators (row r in
+// Y(3r), Y(3r+1), Y(3r+2)), Y12..Y14 the streamed B panel triple, Y15
+// the A broadcast. Each k step issues 12 VFMADD231PS against 3 B
+// loads and 4 scalar broadcasts, so the loop is FMA-throughput-bound
+// (12 fused ops vs 7 load µops). The tile keeps MR = 4 — YOLO channel
+// counts are ≡ 0 (mod 4), so no conv row ever falls to the scalar
+// edge — and widens the B sliver to 3 YMM vectors instead. FMA fuses
+// each multiply-add into one rounding: results are drift-bounded
+// against the scalar reference (see abftTol), not bit-equal — the
+// tier's parity gates compare accordingly.
+TEXT ·gemmFMA4x24(SB), NOSPLIT, $0-48
+	MOVQ c+0(FP), DI
+	MOVQ ldc+8(FP), SI
+	MOVQ a+16(FP), AX
+	MOVQ b+24(FP), BX
+	MOVQ kc+32(FP), CX
+	MOVQ accum+40(FP), DX
+	SHLQ $2, SI                // row stride in bytes
+	LEAQ (DI)(SI*1), R8        // row 1
+	LEAQ (R8)(SI*1), R9        // row 2
+	LEAQ (R9)(SI*1), R10       // row 3
+	TESTQ DX, DX
+	JZ   fzero
+	VMOVUPS (DI), Y0
+	VMOVUPS 32(DI), Y1
+	VMOVUPS 64(DI), Y2
+	VMOVUPS (R8), Y3
+	VMOVUPS 32(R8), Y4
+	VMOVUPS 64(R8), Y5
+	VMOVUPS (R9), Y6
+	VMOVUPS 32(R9), Y7
+	VMOVUPS 64(R9), Y8
+	VMOVUPS (R10), Y9
+	VMOVUPS 32(R10), Y10
+	VMOVUPS 64(R10), Y11
+	JMP  floop
+fzero:
+	VXORPS Y0, Y0, Y0
+	VXORPS Y1, Y1, Y1
+	VXORPS Y2, Y2, Y2
+	VXORPS Y3, Y3, Y3
+	VXORPS Y4, Y4, Y4
+	VXORPS Y5, Y5, Y5
+	VXORPS Y6, Y6, Y6
+	VXORPS Y7, Y7, Y7
+	VXORPS Y8, Y8, Y8
+	VXORPS Y9, Y9, Y9
+	VXORPS Y10, Y10, Y10
+	VXORPS Y11, Y11, Y11
+floop:
+	VMOVAPS (BX), Y12          // B[k, 0:8]
+	VMOVAPS 32(BX), Y13        // B[k, 8:16]
+	VMOVAPS 64(BX), Y14        // B[k, 16:24]
+	VBROADCASTSS (AX), Y15     // a0
+	VFMADD231PS Y12, Y15, Y0
+	VFMADD231PS Y13, Y15, Y1
+	VFMADD231PS Y14, Y15, Y2
+	VBROADCASTSS 4(AX), Y15    // a1
+	VFMADD231PS Y12, Y15, Y3
+	VFMADD231PS Y13, Y15, Y4
+	VFMADD231PS Y14, Y15, Y5
+	VBROADCASTSS 8(AX), Y15    // a2
+	VFMADD231PS Y12, Y15, Y6
+	VFMADD231PS Y13, Y15, Y7
+	VFMADD231PS Y14, Y15, Y8
+	VBROADCASTSS 12(AX), Y15   // a3
+	VFMADD231PS Y12, Y15, Y9
+	VFMADD231PS Y13, Y15, Y10
+	VFMADD231PS Y14, Y15, Y11
+	ADDQ $16, AX
+	ADDQ $96, BX
+	DECQ CX
+	JNZ  floop
+	VMOVUPS Y0, (DI)
+	VMOVUPS Y1, 32(DI)
+	VMOVUPS Y2, 64(DI)
+	VMOVUPS Y3, (R8)
+	VMOVUPS Y4, 32(R8)
+	VMOVUPS Y5, 64(R8)
+	VMOVUPS Y6, (R9)
+	VMOVUPS Y7, 32(R9)
+	VMOVUPS Y8, 64(R9)
+	VMOVUPS Y9, (R10)
+	VMOVUPS Y10, 32(R10)
+	VMOVUPS Y11, 64(R10)
+	VZEROUPPER
+	RET
+
+// func gemmQ4x16(acc *int32, a *int16, b *int8, k2 int)
+//
+// 4×16 int8→int32 register tile over pair-interleaved panels, the
+// AVX2 widening of gemmQ4x8: each k-pair step sign-extends 32 packed
+// B bytes to two 16-word vectors with VPMOVSXBW (replacing the SSE
+// PUNPCK+PSRAW dance), broadcasts each row's int16 weight pair with
+// VPBROADCASTD, and folds two k steps per lane with VPMADDWD+VPADDD.
+// Integer math — any tier reproduces the reference exactly.
+TEXT ·gemmQ4x16(SB), NOSPLIT, $0-32
+	MOVQ acc+0(FP), DI
+	MOVQ a+8(FP), AX
+	MOVQ b+16(FP), BX
+	MOVQ k2+24(FP), CX
+	VPXOR Y0, Y0, Y0
+	VPXOR Y1, Y1, Y1
+	VPXOR Y2, Y2, Y2
+	VPXOR Y3, Y3, Y3
+	VPXOR Y4, Y4, Y4
+	VPXOR Y5, Y5, Y5
+	VPXOR Y6, Y6, Y6
+	VPXOR Y7, Y7, Y7
+qloop16:
+	VPMOVSXBW (BX), Y8         // cols 0..7 pairs → words
+	VPMOVSXBW 16(BX), Y9       // cols 8..15 pairs
+	VPBROADCASTD (AX), Y10     // row 0 weight pair
+	VPMADDWD Y8, Y10, Y11
+	VPADDD Y11, Y0, Y0
+	VPMADDWD Y9, Y10, Y11
+	VPADDD Y11, Y1, Y1
+	VPBROADCASTD 4(AX), Y10    // row 1
+	VPMADDWD Y8, Y10, Y11
+	VPADDD Y11, Y2, Y2
+	VPMADDWD Y9, Y10, Y11
+	VPADDD Y11, Y3, Y3
+	VPBROADCASTD 8(AX), Y10    // row 2
+	VPMADDWD Y8, Y10, Y11
+	VPADDD Y11, Y4, Y4
+	VPMADDWD Y9, Y10, Y11
+	VPADDD Y11, Y5, Y5
+	VPBROADCASTD 12(AX), Y10   // row 3
+	VPMADDWD Y8, Y10, Y11
+	VPADDD Y11, Y6, Y6
+	VPMADDWD Y9, Y10, Y11
+	VPADDD Y11, Y7, Y7
+	ADDQ $16, AX
+	ADDQ $32, BX
+	DECQ CX
+	JNZ  qloop16
+	VMOVDQU Y0, (DI)
+	VMOVDQU Y1, 32(DI)
+	VMOVDQU Y2, 64(DI)
+	VMOVDQU Y3, 96(DI)
+	VMOVDQU Y4, 128(DI)
+	VMOVDQU Y5, 160(DI)
+	VMOVDQU Y6, 192(DI)
+	VMOVDQU Y7, 224(DI)
+	VZEROUPPER
+	RET
+
+// func gemmQ4x32(acc *int32, a *int16, b *int8, k2 int)
+//
+// 4×32 int8→int32 register tile with AVX-512 VNNI: VPMOVSXBW widens
+// 32 packed B bytes per ZMM, and VPDPWSSD accumulates the word-pair
+// dot product in one instruction — the VPMADDWD+VPADDD pair of the
+// AVX2 tier fused, at double the vector width. The word products stay
+// far inside int32 (int8-ranged inputs), so accumulation is exact and
+// bit-identical to every lower tier.
+TEXT ·gemmQ4x32(SB), NOSPLIT, $0-32
+	MOVQ acc+0(FP), DI
+	MOVQ a+8(FP), AX
+	MOVQ b+16(FP), BX
+	MOVQ k2+24(FP), CX
+	VPXORQ Z0, Z0, Z0
+	VPXORQ Z1, Z1, Z1
+	VPXORQ Z2, Z2, Z2
+	VPXORQ Z3, Z3, Z3
+	VPXORQ Z4, Z4, Z4
+	VPXORQ Z5, Z5, Z5
+	VPXORQ Z6, Z6, Z6
+	VPXORQ Z7, Z7, Z7
+qloop32:
+	VPMOVSXBW (BX), Z8         // cols 0..15 pairs → words
+	VPMOVSXBW 32(BX), Z9       // cols 16..31 pairs
+	VPBROADCASTD (AX), Z10     // row 0 weight pair
+	VPDPWSSD Z8, Z10, Z0
+	VPDPWSSD Z9, Z10, Z1
+	VPBROADCASTD 4(AX), Z10    // row 1
+	VPDPWSSD Z8, Z10, Z2
+	VPDPWSSD Z9, Z10, Z3
+	VPBROADCASTD 8(AX), Z10    // row 2
+	VPDPWSSD Z8, Z10, Z4
+	VPDPWSSD Z9, Z10, Z5
+	VPBROADCASTD 12(AX), Z10   // row 3
+	VPDPWSSD Z8, Z10, Z6
+	VPDPWSSD Z9, Z10, Z7
+	ADDQ $16, AX
+	ADDQ $64, BX
+	DECQ CX
+	JNZ  qloop32
+	VMOVDQU32 Z0, (DI)
+	VMOVDQU32 Z1, 64(DI)
+	VMOVDQU32 Z2, 128(DI)
+	VMOVDQU32 Z3, 192(DI)
+	VMOVDQU32 Z4, 256(DI)
+	VMOVDQU32 Z5, 320(DI)
+	VMOVDQU32 Z6, 384(DI)
+	VMOVDQU32 Z7, 448(DI)
+	VZEROUPPER
+	RET

@@ -24,37 +24,40 @@ import (
 //     IS im2col: the panel is gathered straight from the input tensor's
 //     receptive fields (implicit-im2col GEMM), so the full k×n cols
 //     matrix of the old lowering never exists.
-//   - The micro-kernel (gemm4x8, SSE assembly on amd64) keeps a 4×8
-//     float32 accumulator tile in registers and streams the two packed
-//     panels, retiring 8 single-precision lanes per multiply/add pair.
-//     Loop tiling: the k loop is cut into gemmKC blocks so the B panel
-//     (KC×NR floats) plus the A panel slice (MR×KC) stay L1-resident
-//     (~12 KB against the reference Xeon's 48 KB L1d), and the C
-//     stripe revisited per block stays hot.
+//   - The micro-kernel (kernF32, bound by CPU dispatch — see
+//     dispatch.go) keeps a gemmMR×gemmNR float32 accumulator tile in
+//     registers and streams the two packed panels: 4×8 with SSE
+//     MULPS/ADDPS on the sse2 tier, 4×24 with 12 YMM accumulators and
+//     fused multiply-adds on the avx2fma tier. Loop tiling: the k loop
+//     is cut into gemmKC blocks so the B panel (KC×NR floats) plus the
+//     A panel slice (MR×KC) stay L1-resident against the reference
+//     Xeon's 48 KB L1d, and the C stripe revisited per block stays hot.
 //
 // The B source is a type parameter (a value struct, never boxed) and
 // the epilogue travels by value, so a steady-state call performs zero
 // heap allocations — the contract the plan executor's frame loop is
 // pinned to.
 //
-// Parity contract: every kernel — assembly, generic, and the edge
-// cases — accumulates each C element as one chain of separate
+// Parity contract: the non-FMA kernels — SSE2 assembly, generic, and
+// the edge cases — accumulate each C element as one chain of separate
 // single-precision multiply-then-add steps in ascending-k order,
 // exactly the op sequence of the retained reference kernel
-// (matMulRange), so packed results are bit-identical to the reference
-// for finite inputs. The golden tests in pack_test.go pin this at
-// adversarial shapes.
+// (matMulRange), so their packed results are bit-identical to the
+// reference for finite inputs. The FMA tiers keep the ascending-k
+// order but fuse each multiply-add into a single rounding, so their
+// results are drift-bounded against the reference (KernelTierFMA
+// gates which comparison applies). The golden tests in pack_test.go
+// pin both regimes at adversarial shapes, per tier.
 
-const (
-	// gemmMR×gemmNR is the register tile: 4 rows × 8 columns = 8 XMM
-	// accumulators, the largest fp32 tile that fits the 16 SSE
-	// registers with room for the two B vectors and broadcast temps.
-	gemmMR = 4
-	gemmNR = 8
-	// gemmKC is the k-block: B panel (KC·NR·4 B = 8 KB) + A panel
-	// slice (MR·KC·4 B = 4 KB) + the C stripe stay inside L1d.
-	gemmKC = 256
-)
+// gemmMR is the register-tile row count, fixed at 4 across every
+// dispatch tier (dispatch.go): network channel counts divide by 4, so
+// no conv row falls to the scalar edge, and — more importantly — the
+// PackedA/PackedQ layouts depend only on MR, so packed weights stay
+// valid across tier switches. The column width gemmNR and k-block
+// gemmKC are per-tier variables bound by dispatch: 8/256 for the
+// 8-XMM SSE2 tile, 24/192 for the 12-YMM FMA tile (B panel KC·NR·4 B
+// ≈ 18 KB + A slice MR·KC·4 B ≈ 3 KB + C stripe stay inside L1d).
+const gemmMR = 4
 
 // PackedA is a left GEMM operand packed into gemmMR-row micro-panels:
 // data[p·(k·MR) + kk·MR + r] = A[p·MR+r, kk], zero for padded rows.
@@ -123,8 +126,18 @@ func PackWeights(a *Tensor) *PackedA {
 // multiply, or the shape is too small to amortise panel packing (the
 // reference kernel keeps those). nn's plan lowering calls this to
 // decide which convs get compile-time packed weights.
+//
+// The thresholds are deliberately tier-independent (n is gated against
+// a fixed minimum, not the selected tier's gemmNR): the deep
+// small-spatial convs of a detection head (n = oh·ow as low as 9, with
+// large m·k) must stay on the packed kernel when a wide-NR tier is
+// selected — the edge path computes them on a zero-padded NR tile at a
+// fraction of the lanes, which still beats the scalar reference by
+// multiples — and a routing decision that cannot change with the tier
+// keeps every caller's packed-vs-reference choice, and therefore the
+// plan's compile-time weight packing, stable across tier switches.
 func UsePackedGEMM(m, k, n int) bool {
-	return m >= gemmMR && n >= gemmNR && k >= 16 && m*n >= 512
+	return m >= gemmMR && n >= 8 && k >= 16 && m*n >= 512
 }
 
 // hasWork reports whether an epilogue performs any per-element work.
@@ -234,7 +247,8 @@ func gemmStripesF32Par[S f32BSource](dst []float32, m, n, k int, apData []float3
 // gemmStripeRangeF32 computes column slivers [s0, s1) — the worker
 // body of gemmStripesF32.
 func gemmStripeRangeF32[S f32BSource](dst []float32, m, n, k int, apData []float32, src S, ep Epilogue, chanOff, s0, s1 int) {
-	bbuf := Scratch.GetRaw(gemmKC * gemmNR)
+	buf := Scratch.GetRaw((gemmKC + gemmMR) * gemmNR)
+	bbuf, ctile := buf[:gemmKC*gemmNR], buf[gemmKC*gemmNR:]
 	epWork := ep.hasWork()
 	for s := s0; s < s1; s++ {
 		j0 := s * gemmNR
@@ -256,36 +270,50 @@ func gemmStripeRangeF32[S f32BSource](dst []float32, m, n, k int, apData []float
 			if jw == gemmNR {
 				for ; i0+gemmMR <= m; i0 += gemmMR {
 					apan := apData[(i0/gemmMR)*k*gemmMR+k0*gemmMR:]
-					gemm4x8(&dst[i0*n+j0], n, &apan[0], &bbuf[0], kc, accum)
+					kernF32(&dst[i0*n+j0], n, &apan[0], &bbuf[0], kc, accum)
 				}
 			}
 			if i0 < m {
-				gemmEdgeF32(dst, n, apData, bbuf, k, k0, kc, i0, m, j0, jw, accum == 1)
+				gemmEdgeF32(dst, n, apData, bbuf, ctile, k, k0, kc, i0, m, j0, jw, accum == 1)
 			}
 		}
 		if epWork {
 			ep.applyCols(dst, 0, m, n, j0, j0+jw, chanOff)
 		}
 	}
-	Scratch.PutRaw(bbuf)
+	Scratch.PutRaw(buf)
 }
 
 // gemmEdgeF32 finishes the ragged tiles (rows [i0, m), columns
-// [j0, j0+jw)) with the same per-element ascending-k chain as the
-// vector kernel, reading the packed panels directly.
-func gemmEdgeF32(dst []float32, n int, apData, bbuf []float32, k, k0, kc, i0, m, j0, jw int, accum bool) {
-	for i := i0; i < m; i++ {
-		apan := apData[(i/gemmMR)*k*gemmMR+k0*gemmMR+i%gemmMR:]
-		drow := dst[i*n+j0 : i*n+j0+jw]
-		for j := 0; j < jw; j++ {
-			var acc float32
-			if accum {
-				acc = drow[j]
+// [j0, j0+jw)) by running the selected micro-kernel on a pooled
+// MR×NR staging tile and copying the valid region out. Routing edges
+// through the same kernel — rather than a scalar fallback — keeps
+// every C element on the selected tier's exact op chain, so results
+// are independent of how a caller tiles the output (per-sample vs
+// batched convs, implicit vs materialised im2col) even on FMA tiers,
+// where a separate multiply+add edge would round differently. A
+// padded rows (packATo zero-fills past m) and B columns (pack
+// zero-fills past jw) contribute exact zeros, and the tile is
+// pre-zeroed, so starting the kernel in accumulate mode from zeros
+// reproduces the overwrite path bit for bit.
+func gemmEdgeF32(dst []float32, n int, apData, bbuf, ctile []float32, k, k0, kc, i0, m, j0, jw int, accum bool) {
+	for ; i0 < m; i0 += gemmMR {
+		rows := m - i0
+		if rows > gemmMR {
+			rows = gemmMR
+		}
+		for i := range ctile[:gemmMR*gemmNR] {
+			ctile[i] = 0
+		}
+		if accum {
+			for r := 0; r < rows; r++ {
+				copy(ctile[r*gemmNR:r*gemmNR+jw], dst[(i0+r)*n+j0:(i0+r)*n+j0+jw])
 			}
-			for kk := 0; kk < kc; kk++ {
-				acc += apan[kk*gemmMR] * bbuf[kk*gemmNR+j]
-			}
-			drow[j] = acc
+		}
+		apan := apData[(i0/gemmMR)*k*gemmMR+k0*gemmMR:]
+		kernF32(&ctile[0], gemmNR, &apan[0], &bbuf[0], kc, 1)
+		for r := 0; r < rows; r++ {
+			copy(dst[(i0+r)*n+j0:(i0+r)*n+j0+jw], ctile[r*gemmNR:r*gemmNR+jw])
 		}
 	}
 }

@@ -10,17 +10,18 @@ import (
 // design). Differences from the fp32 driver:
 //
 //   - Panels are pair-interleaved: consecutive k values sit adjacent
-//     per row/column, so the micro-kernel (gemmQ4x8) can fold two k
-//     steps per lane with PMADDWD. Integer accumulation is exact, so
-//     the pairing cannot change results — int8 parity with the
-//     reference tiles is automatic.
+//     per row/column, so the micro-kernel (kernQ, bound by CPU
+//     dispatch — PMADDWD on sse2, VPMADDWD on avx2fma, VPDPWSSD on
+//     avx512vnni) can fold two k steps per lane. Integer accumulation
+//     is exact, so neither the pairing nor the tile width (qNR = 8,
+//     16, or 32 columns per tier) can change results — int8 parity
+//     with the reference tiles is automatic on every tier.
 //   - Weights pack to sign-extended int16 (PackedQ) at plan-compile /
 //     quantize-bind time, removing the extension work from the inner
 //     loop.
-//   - There is no kc blocking: the full-depth B sliver (k·8 int8 ≤
-//     ~36 KB at the deepest YOLO conv) streams well and skipping the
-//     block loop keeps the int32 accumulators register-resident
-//     across all of k.
+//   - There is no kc blocking: the full-depth B sliver (k·2·qNR int8)
+//     streams well and skipping the block loop keeps the int32
+//     accumulators register-resident across all of k.
 //   - The requantization epilogue (float32(acc)·rowScale) and the
 //     optional BN/activation epilogue run per column stripe, the same
 //     float32 op sequence as the reference int8 kernels.
@@ -92,7 +93,7 @@ func PackWeightsQ(data []int8, m, k int) *PackedQ {
 var scratchW = func() *rawPool[int16] { p := newRawPool[int16](); return &p }()
 
 // qBSource supplies full-depth int8 B slivers in pair-interleaved
-// layout: pack fills bbuf[kk·16 + jj·2 + s] = B[2·kk+s, j0+jj],
+// layout: pack fills bbuf[kk·2·qNR + jj·2 + s] = B[2·kk+s, j0+jj],
 // zero-padding columns ≥ jw and the odd-k tail. Value structs only,
 // as f32BSource.
 type qBSource interface {
@@ -107,12 +108,12 @@ type qMatrixB struct {
 
 func (s qMatrixB) pack(bbuf []int8, j0, jw int) {
 	k2 := (s.k + 1) / 2
-	for i := range bbuf[:k2*16] {
+	for i := range bbuf[:k2*2*qNR] {
 		bbuf[i] = 0
 	}
 	for kk := 0; kk < s.k; kk++ {
 		brow := s.b[kk*s.n+j0 : kk*s.n+j0+jw]
-		row := bbuf[(kk/2)*16+kk&1:]
+		row := bbuf[(kk/2)*2*qNR+kk&1:]
 		for jj, v := range brow {
 			row[jj*2] = v
 		}
@@ -138,8 +139,8 @@ func (s qConvB) pack(bbuf []int8, j0, jw int) {
 	dh, dw := s.spec.dil()
 	ow := s.ow
 	k2 := (s.k + 1) / 2
-	if s.k&1 == 1 || jw < gemmNR {
-		for i := range bbuf[:k2*16] {
+	if s.k&1 == 1 || jw < qNR {
+		for i := range bbuf[:k2*2*qNR] {
 			bbuf[i] = 0
 		}
 	}
@@ -149,7 +150,7 @@ func (s qConvB) pack(bbuf []int8, j0, jw int) {
 		ky := rem / s.spec.KW
 		kx := rem % s.spec.KW
 		src := s.x.Data[(s.c0+c)*h*w : (s.c0+c+1)*h*w]
-		row := bbuf[(kk/2)*16+kk&1:]
+		row := bbuf[(kk/2)*2*qNR+kk&1:]
 		oy := j0 / ow
 		ox := j0 % ow
 		iy := oy*s.spec.StrideH - s.spec.PadH + ky*dh
@@ -174,9 +175,9 @@ func (s qConvB) pack(bbuf []int8, j0, jw int) {
 
 // gemmStripesQ runs the packed int8 GEMM with fused requantization:
 // dst[i,j] = float32(Σ_k A[i,k]·B[k,j]) · rowScale[i], plus the
-// optional epilogue, parallelised over 8-column slivers.
+// optional epilogue, parallelised over qNR-column slivers.
 func gemmStripesQ[S qBSource](dst []float32, m, n, k int, apData []int16, src S, rowScale []float32, ep Epilogue, chanOff int) {
-	nSliv := (n + gemmNR - 1) / gemmNR
+	nSliv := (n + qNR - 1) / qNR
 	if parallel.Serial() || nSliv == 1 {
 		gemmStripeRangeQ(dst, m, n, k, apData, src, rowScale, ep, chanOff, 0, nSliv)
 		return
@@ -197,24 +198,28 @@ func gemmStripesQPar[S qBSource](dst []float32, m, n, k int, apData []int16, src
 // of gemmStripesQ.
 func gemmStripeRangeQ[S qBSource](dst []float32, m, n, k int, apData []int16, src S, rowScale []float32, ep Epilogue, chanOff, s0, s1 int) {
 	k2 := (k + 1) / 2
-	bbuf := ScratchB.Get(k2 * 16)
+	bbuf := ScratchB.Get(k2 * 2 * qNR)
 	epWork := ep.hasWork()
-	var acc [4 * gemmNR]int32
+	// The accumulator tile is pooled, not a stack array: its pointer
+	// passes through the kernQ func value, which defeats escape
+	// analysis and would heap-allocate the tile every call.
+	acc := scratchI32.get(4 * qNR)
+	nr := qNR
 	for s := s0; s < s1; s++ {
-		j0 := s * gemmNR
+		j0 := s * nr
 		jw := n - j0
-		if jw > gemmNR {
-			jw = gemmNR
+		if jw > nr {
+			jw = nr
 		}
 		src.pack(bbuf, j0, jw)
 		i0 := 0
-		if jw == gemmNR {
+		if jw == nr {
 			for ; i0+4 <= m; i0 += 4 {
-				gemmQ4x8(&acc[0], &apData[(i0/4)*k2*8], &bbuf[0], k2)
+				kernQ(&acc[0], &apData[(i0/4)*k2*8], &bbuf[0], k2)
 				for r := 0; r < 4; r++ {
 					sc := rowScale[i0+r]
-					drow := dst[(i0+r)*n+j0 : (i0+r)*n+j0+gemmNR]
-					ar := acc[r*gemmNR : (r+1)*gemmNR]
+					drow := dst[(i0+r)*n+j0 : (i0+r)*n+j0+nr]
+					ar := acc[r*nr : (r+1)*nr]
 					for j, v := range ar {
 						drow[j] = float32(v) * sc
 					}
@@ -222,29 +227,39 @@ func gemmStripeRangeQ[S qBSource](dst []float32, m, n, k int, apData []int16, sr
 			}
 		}
 		if i0 < m {
-			gemmEdgeQ(dst, n, apData, bbuf, k2, i0, m, j0, jw, rowScale)
+			gemmEdgeQ(dst, n, apData, bbuf, acc, k2, i0, m, j0, jw, rowScale)
 		}
 		if epWork {
 			ep.applyCols(dst, 0, m, n, j0, j0+jw, chanOff)
 		}
 	}
+	scratchI32.put(acc)
 	ScratchB.Put(bbuf)
 }
 
-// gemmEdgeQ finishes ragged int8 tiles with exact scalar pair sums
-// over the packed panels.
-func gemmEdgeQ(dst []float32, n int, apData []int16, bbuf []int8, k2, i0, m, j0, jw int, rowScale []float32) {
-	for i := i0; i < m; i++ {
-		apan := apData[(i/4)*k2*8+(i%4)*2:]
-		sc := rowScale[i]
-		drow := dst[i*n+j0 : i*n+j0+jw]
-		for j := 0; j < jw; j++ {
-			var acc int32
-			for kk := 0; kk < k2; kk++ {
-				acc += int32(apan[kk*8])*int32(bbuf[kk*16+j*2]) +
-					int32(apan[kk*8+1])*int32(bbuf[kk*16+j*2+1])
+// gemmEdgeQ finishes the ragged int8 tiles (rows [i0, m), columns
+// [j0, j0+jw)) by running the selected micro-kernel over the full
+// zero-padded panels and copying the valid accumulator region out.
+// Padded A rows (packQTo) and B columns (the pack sources) are exact
+// integer zeros, so the kernel result matches the scalar pair sums bit
+// for bit — and on the wide tiers the deep small-spatial detect-head
+// convs, whose n fits entirely inside one sliver, stay on vector
+// lanes instead of a scalar loop. acc is the caller's pooled 4×qNR
+// accumulator tile.
+func gemmEdgeQ(dst []float32, n int, apData []int16, bbuf []int8, acc []int32, k2, i0, m, j0, jw int, rowScale []float32) {
+	for ; i0 < m; i0 += 4 {
+		rows := m - i0
+		if rows > 4 {
+			rows = 4
+		}
+		kernQ(&acc[0], &apData[(i0/4)*k2*8], &bbuf[0], k2)
+		for r := 0; r < rows; r++ {
+			sc := rowScale[i0+r]
+			drow := dst[(i0+r)*n+j0 : (i0+r)*n+j0+jw]
+			ar := acc[r*qNR : r*qNR+jw]
+			for j, v := range ar {
+				drow[j] = float32(v) * sc
 			}
-			drow[j] = float32(acc) * sc
 		}
 	}
 }

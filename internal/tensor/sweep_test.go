@@ -1,0 +1,54 @@
+package tensor
+
+import (
+	"fmt"
+	"testing"
+
+	"ocularone/internal/rng"
+)
+
+// KC-sweep benchmark for retuning the selected tier's k-block size:
+//
+//	go test ./internal/tensor/ -bench KCSweep -run XXX
+//
+// sweeps gemmKC over the candidate grid at the 512³ GEMM and a
+// representative backbone conv GEMM shape (the two shapes the blocking
+// parameters in dispatch.go were tuned against; BENCHMARKS.md records
+// the sweep per tier). The tier's pinned kc is restored afterwards.
+// The sweep mutates package state, so it must not run in parallel with
+// other benchmarks — `go test -bench` runs serially by default.
+func BenchmarkKCSweep(b *testing.B) {
+	saved := gemmKC
+	defer func() { gemmKC = saved }()
+
+	r := rng.New(7)
+	a512, b512, c512 := New(512, 512), New(512, 512), New(512, 512)
+	for i := range a512.Data {
+		a512.Data[i] = r.Float32()
+		b512.Data[i] = r.Float32()
+	}
+	// yolov8n backbone mid-layer as a GEMM: [128, 576] × [576, 1600].
+	ac, bc := New(128, 576), New(576, 1600)
+	cc := New(128, 1600)
+	for i := range ac.Data {
+		ac.Data[i] = r.Float32()
+	}
+	for i := range bc.Data {
+		bc.Data[i] = r.Float32()
+	}
+
+	for _, kc := range []int{96, 128, 192, 256, 320, 384, 512} {
+		b.Run(fmt.Sprintf("kc%d/gemm512", kc), func(b *testing.B) {
+			gemmKC = kc
+			for i := 0; i < b.N; i++ {
+				matMulPackedInto(c512, a512, b512, Epilogue{}, 0)
+			}
+		})
+		b.Run(fmt.Sprintf("kc%d/conv128x576x1600", kc), func(b *testing.B) {
+			gemmKC = kc
+			for i := 0; i < b.N; i++ {
+				matMulPackedInto(cc, ac, bc, Epilogue{}, 0)
+			}
+		})
+	}
+}
