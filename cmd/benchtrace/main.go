@@ -22,11 +22,17 @@
 // (tensor.KernelTier: generic/sse2/avx2fma/avx512vnni) so kernel
 // numbers are only compared across hosts running the same tier, and
 // adds the allocation-free BenchmarkMatMul512Into kernel signal.
+// PR 10 adds the temporal curve — the degradation-ladder ablation at
+// the capacity knee (bridged / ROI / early-exit counts, bridged
+// staleness, goodput vs the PR-7 shed-only dropout row) — the drift
+// study bounding the ladder's detection-quality cost against
+// full-frame tracking, and the steady-state temporal benchmark under
+// the same 0 allocs/op gate.
 //
 // Usage:
 //
-//	go run ./cmd/benchtrace                  # writes BENCH_PR9.json
-//	go run ./cmd/benchtrace -pr 10 -count 3  # next PR, median of 3
+//	go run ./cmd/benchtrace                  # writes BENCH_PR10.json
+//	go run ./cmd/benchtrace -pr 11 -count 3  # next PR, median of 3
 package main
 
 import (
@@ -55,7 +61,7 @@ const headline = "BenchmarkMatMul512$|BenchmarkMatMul512Into$|BenchmarkMatMulYOL
 	"BenchmarkNNForwardYOLOv8NanoCPU$|BenchmarkNNForwardBatchYOLOv8NanoCPU$|" +
 	"BenchmarkNNForwardQuantYOLOv8NanoCPU$|BenchmarkNNPlanExecuteYOLOv8NanoCPU$|" +
 	"BenchmarkNNForwardTRTPoseCPU$|BenchmarkCalQueue$|BenchmarkServeSteadyState$|" +
-	"BenchmarkChaosSteadyState$|BenchmarkIntegritySteadyState$"
+	"BenchmarkChaosSteadyState$|BenchmarkIntegritySteadyState$|BenchmarkTemporalSteadyState$"
 
 // benchPkgs are the packages the headline benchmarks live in: the root
 // harness for kernels and network forwards, internal/serve for the
@@ -85,13 +91,15 @@ type trajectory struct {
 	Serve       []serve.CurvePoint     `json:"serve_curve,omitempty"`
 	Chaos       []bench.ChaosPoint     `json:"chaos_curve,omitempty"`
 	Integrity   []bench.IntegrityPoint `json:"integrity_curve,omitempty"`
+	Temporal    []bench.TemporalPoint  `json:"temporal_curve,omitempty"`
+	Drift       *bench.TemporalDrift   `json:"temporal_drift,omitempty"`
 }
 
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:\s+(\d+) B/op\s+(\d+) allocs/op)?`)
 
 func main() {
 	var (
-		pr        = flag.Int("pr", 9, "PR number for the output file name and document")
+		pr        = flag.Int("pr", 10, "PR number for the output file name and document")
 		out       = flag.String("out", "", "output path (default BENCH_PR<n>.json)")
 		benchRe   = flag.String("bench", headline, "benchmark regexp handed to go test -bench")
 		benchTime = flag.String("benchtime", "1s", "go test -benchtime per benchmark")
@@ -161,6 +169,11 @@ func main() {
 		doc.Serve = bench.RunServeStudy(*serveSeed)
 		doc.Chaos = bench.RunChaosCurve(*serveSeed, 10_000)
 		doc.Integrity = bench.RunIntegrityCurve(*serveSeed, 10_000)
+		doc.Temporal = bench.RunTemporalCurve(*serveSeed, 10_000)
+		sc := bench.CIScale
+		sc.Seed = *serveSeed
+		drift := bench.RunTemporalDrift(sc)
+		doc.Drift = &drift
 	}
 
 	buf, err := json.MarshalIndent(doc, "", "  ")
@@ -174,6 +187,6 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("benchtrace: kernel tier %s\n", tensor.KernelTierDesc())
-	fmt.Printf("benchtrace: wrote %s (%d benchmarks, %d plan footprints, %d serve points, %d chaos regimes, %d integrity regimes)\n",
-		path, len(doc.Benchmarks), len(doc.Plans), len(doc.Serve), len(doc.Chaos), len(doc.Integrity))
+	fmt.Printf("benchtrace: wrote %s (%d benchmarks, %d plan footprints, %d serve points, %d chaos regimes, %d integrity regimes, %d temporal regimes)\n",
+		path, len(doc.Benchmarks), len(doc.Plans), len(doc.Serve), len(doc.Chaos), len(doc.Integrity), len(doc.Temporal))
 }

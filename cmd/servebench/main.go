@@ -10,6 +10,7 @@
 //	go run ./cmd/servebench -check -horizon 2000     # CI determinism gate
 //	go run ./cmd/servebench -chaos -check            # + chaos regimes
 //	go run ./cmd/servebench -integrity -check        # + integrity regimes
+//	go run ./cmd/servebench -temporal -check         # + degradation-ladder regimes
 //
 // -check runs every load point twice and fails unless the two passes
 // produce identical fingerprints (bit-for-bit identical arrival traces,
@@ -30,6 +31,15 @@
 // sweep must reproduce bit for bit and its fault-free baseline must
 // match the plain rho=1.0 fingerprint — idle integrity plumbing is
 // proven inert exactly like idle fault plumbing.
+//
+// -temporal sweeps the degradation-ladder ablation at the knee:
+// fault-free baseline, the PR-7 shed-only dropout response, the same
+// dropouts with the ladder live, and the ladder under the combined
+// regime — reporting bridged/ROI/early-exit counts and bridged-response
+// staleness per regime. With -check the sweep must reproduce bit for
+// bit, its baseline must match the plain rho=1.0 fingerprint (idle
+// ladder plumbing is inert), and the dropout-ladder row must beat
+// dropout-shed-only goodput — the headline claim of the ladder.
 package main
 
 import (
@@ -59,6 +69,7 @@ type doc struct {
 	Serve       []serve.CurvePoint     `json:"serve_curve"`
 	Chaos       []bench.ChaosPoint     `json:"chaos_curve,omitempty"`
 	Integrity   []bench.IntegrityPoint `json:"integrity_curve,omitempty"`
+	Temporal    []bench.TemporalPoint  `json:"temporal_curve,omitempty"`
 }
 
 func parseRhos(s string) ([]float64, error) {
@@ -82,6 +93,7 @@ func main() {
 		check    = flag.Bool("check", false, "run twice and fail unless fingerprints reproduce")
 		chaosRun = flag.Bool("chaos", false, "also sweep the fault regimes at the capacity knee")
 		integRun = flag.Bool("integrity", false, "also sweep the integrity regimes at the capacity knee")
+		tempRun  = flag.Bool("temporal", false, "also sweep the degradation-ladder regimes at the capacity knee")
 	)
 	flag.Parse()
 	rhos, err := parseRhos(*rhoFlag)
@@ -178,6 +190,46 @@ func main() {
 		}
 	}
 
+	var tempPts []bench.TemporalPoint
+	if *tempRun {
+		tempPts = bench.RunTemporalCurve(*seed, *horizon)
+		fmt.Println()
+		bench.WriteTemporalCurve(os.Stdout, tempPts)
+		if *check {
+			again := bench.RunTemporalCurve(*seed, *horizon)
+			for i, p := range tempPts {
+				if p.Fingerprint != again[i].Fingerprint {
+					fmt.Fprintf(os.Stderr, "servebench: temporal regime %s fingerprint drifted: %s vs %s\n",
+						p.Regime, p.Fingerprint, again[i].Fingerprint)
+					os.Exit(1)
+				}
+			}
+			plain := serve.RunCurve(cfg, []float64{1.0})[0]
+			if tempPts[0].Fingerprint != plain.Fingerprint {
+				fmt.Fprintf(os.Stderr, "servebench: temporal baseline %s != plain rho=1.0 %s: idle ladder plumbing is not inert\n",
+					tempPts[0].Fingerprint, plain.Fingerprint)
+				os.Exit(1)
+			}
+			// The headline claim: the ladder beats shedding under the same
+			// dropouts at the same seed and traffic.
+			var shed, ladder *bench.TemporalPoint
+			for i := range tempPts {
+				switch tempPts[i].Regime {
+				case "dropout-shed-only":
+					shed = &tempPts[i]
+				case "dropout-ladder":
+					ladder = &tempPts[i]
+				}
+			}
+			if shed == nil || ladder == nil || ladder.GoodputPerSec <= shed.GoodputPerSec {
+				fmt.Fprintf(os.Stderr, "servebench: dropout-ladder goodput does not beat shed-only\n")
+				os.Exit(1)
+			}
+			fmt.Printf("check: %d temporal regimes reproduced bit-for-bit; baseline matches plain serving; ladder beats shed-only %.0f > %.0f req/s\n",
+				len(tempPts), ladder.GoodputPerSec, shed.GoodputPerSec)
+		}
+	}
+
 	if *jsonPath != "" {
 		d := doc{
 			GeneratedAt: time.Now().UTC().Format(time.RFC3339),
@@ -190,6 +242,7 @@ func main() {
 			Serve:       pts,
 			Chaos:       chaosPts,
 			Integrity:   integPts,
+			Temporal:    tempPts,
 		}
 		buf, err := json.MarshalIndent(d, "", "  ")
 		if err != nil {

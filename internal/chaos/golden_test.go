@@ -7,6 +7,7 @@ import (
 	"ocularone/internal/chaos"
 	"ocularone/internal/device"
 	"ocularone/internal/serve"
+	"ocularone/internal/temporal"
 )
 
 // Golden fingerprints of the reference serving study (rho = 1.0,
@@ -43,6 +44,13 @@ var goldenFingerprints = []struct {
 	{44, "retry-sdc", "726f00aa1c2026b1"},
 	{44, "hedge-straggle", "95941eb44cb69145"},
 	{44, "integrity", "8db09e3f0b7fa142"},
+	// PR-10 temporal regime: the Markov dropout process with precision
+	// adaptation and the graceful-degradation ladder live — tracker
+	// bridging, ROI/early-exit rungs, staleness histogram all mixed
+	// into the fingerprint.
+	{42, "temporal", "a760ee67089c5360"},
+	{43, "temporal", "2570cbda22583860"},
+	{44, "temporal", "fc82a4e79d8c06c6"},
 }
 
 // goldenRetry and goldenHedge are the pinned integrity policies of the
@@ -71,6 +79,10 @@ func goldenRun(seed uint64, mode string) string {
 		cfg.Disrupt = chaos.New(chaos.IntegrityRegime(seed))
 		cfg.Integrity.Retry = goldenRetry
 		cfg.Integrity.Hedge = goldenHedge
+	case "temporal":
+		cfg.Disrupt = chaos.New(chaos.DropoutRegime(seed))
+		cfg.Adapt.Enabled = true
+		cfg.Temporal.Enabled = true
 	}
 	s := serve.NewServer(cfg)
 	s.AdvanceTo(cfg.HorizonMS)
@@ -129,6 +141,55 @@ func TestPR7ZeroKnobParity(t *testing.T) {
 		}
 		if got := zeroKnob(g.seed, g.mode); got != g.want {
 			t.Fatalf("seed %d %s with zero-knob integrity config: %s, want pinned %s",
+				g.seed, g.mode, got, g.want)
+		}
+	}
+}
+
+// TestPR9ZeroKnobParity pins the PR-10 replay contract: with the
+// temporal ladder configured — every budget knob explicitly set — but
+// not enabled, every pre-temporal pinned fingerprint (baseline, chaos,
+// and the three integrity modes) must reproduce bit for bit. The
+// ladder is proven inert when idle, not merely configured away.
+func TestPR9ZeroKnobParity(t *testing.T) {
+	inert := serve.TemporalConfig{
+		Enabled: false,
+		Ladder: temporal.Config{
+			MaxBridged: 9, ConfDecay: 0.5, ConfFloor: 0.1, RefreshEvery: 3,
+			ROICost: 0.3, EarlyExitCost: 0.6, Window: 16, MissHi: 0.4, MissLo: 0.02,
+		},
+		BridgeMS: 2,
+	}
+	zeroKnob := func(seed uint64, mode string) string {
+		cfg := serve.DefaultConfig(10000, seed)
+		cfg.Traffic.RatePerSec = serve.Capacity(cfg)
+		switch mode {
+		case "chaos":
+			cfg.Disrupt = chaos.New(chaos.Combined(seed))
+			cfg.Adapt.Enabled = true
+		case "retry-sdc":
+			cfg.Disrupt = chaos.New(chaos.SDCRegime(seed))
+			cfg.Integrity.Retry = goldenRetry
+		case "hedge-straggle":
+			cfg.Disrupt = chaos.New(chaos.StragglerRegime(seed))
+			cfg.Integrity.Hedge = goldenHedge
+		case "integrity":
+			cfg.Disrupt = chaos.New(chaos.IntegrityRegime(seed))
+			cfg.Integrity.Retry = goldenRetry
+			cfg.Integrity.Hedge = goldenHedge
+		}
+		cfg.Temporal = inert
+		s := serve.NewServer(cfg)
+		s.AdvanceTo(cfg.HorizonMS)
+		s.Drain()
+		return fmt.Sprintf("%016x", s.Fingerprint())
+	}
+	for _, g := range goldenFingerprints {
+		if g.mode == "temporal" {
+			continue // the one mode where the ladder is live
+		}
+		if got := zeroKnob(g.seed, g.mode); got != g.want {
+			t.Fatalf("seed %d %s with zero-knob temporal config: %s, want pinned %s",
 				g.seed, g.mode, got, g.want)
 		}
 	}

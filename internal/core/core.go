@@ -193,6 +193,13 @@ var experiments = map[string]Experiment{
 			return nil
 		},
 	},
+	"ext-temporal": {
+		Name: "ext-temporal", Desc: "Extension: temporal degradation ladder — bridged/ROI/early-exit goodput vs shed-only, drift vs full-frame tracking",
+		Run: func(s *Suite, w io.Writer) error {
+			bench.WriteTemporalStudy(w, bench.RunTemporalStudy(s.Scale))
+			return nil
+		},
+	},
 }
 
 // ExperimentNames lists the available experiment IDs in a stable order.

@@ -1,0 +1,117 @@
+package detect
+
+import (
+	"testing"
+
+	"ocularone/internal/imgproc"
+	"ocularone/internal/models"
+	"ocularone/internal/scene"
+)
+
+// TestDetectEarlyExitsOnConfidentFrames: over a diverse test split the
+// early head must actually exit on a meaningful share of frames, and on
+// the frames where it exits the boxes must localise the same vest the
+// full pass finds (IoU against ground truth, not box identity — the
+// cheap pass runs at half resolution).
+func TestDetectEarlyExitsOnConfidentFrames(t *testing.T) {
+	ds, sp := testSplit(t)
+	d := TrainDataset(TierFor(models.YOLOv8, models.Medium), sp.Train)
+	exits, hits, total := 0, 0, 0
+	for _, it := range sp.Test.Diverse().Subset(30).Items {
+		r := ds.Render(it)
+		if !r.Truth.HasVIP {
+			continue
+		}
+		total++
+		boxes, early := d.DetectEarly(r.Image, 0.4)
+		if !early {
+			continue
+		}
+		exits++
+		for _, b := range boxes {
+			if b.Rect.IoU(r.Truth.VestBox) >= 0.3 {
+				hits++
+				break
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no VIP frames in test split")
+	}
+	if exits == 0 {
+		t.Fatal("early head never exited on a diverse split")
+	}
+	if hits*2 < exits {
+		t.Fatalf("early exits localised the vest on only %d/%d frames", hits, exits)
+	}
+}
+
+// TestDetectEarlyFallsThrough: an impossible exit threshold forces the
+// fall-through path, whose result must equal the full Detect exactly.
+func TestDetectEarlyFallsThrough(t *testing.T) {
+	ds, sp := testSplit(t)
+	d := TrainDataset(TierFor(models.YOLOv8, models.Medium), sp.Train)
+	it := sp.Test.Diverse().Subset(5).Items[0]
+	r := ds.Render(it)
+	boxes, early := d.DetectEarly(r.Image, 2.0) // scores are fill fractions < 2
+	if early {
+		t.Fatal("early exit fired above the maximum possible score")
+	}
+	full := d.Detect(r.Image)
+	if len(boxes) != len(full) {
+		t.Fatalf("fall-through returned %d boxes, full pass %d", len(boxes), len(full))
+	}
+	for i := range boxes {
+		if boxes[i] != full[i] {
+			t.Fatalf("fall-through box %d diverged from full pass", i)
+		}
+	}
+}
+
+// TestDetectROIMapsBack: detections inside a crop come back in
+// full-image coordinates and match the full-frame detection of the
+// same vest.
+func TestDetectROIMapsBack(t *testing.T) {
+	ds, sp := testSplit(t)
+	d := TrainDataset(TierFor(models.YOLOv8, models.Medium), sp.Train)
+	checked := 0
+	for _, it := range sp.Test.Diverse().Subset(20).Items {
+		r := ds.Render(it)
+		if !r.Truth.HasVIP || it.Condition != scene.Clear {
+			continue
+		}
+		roi := ROIAround(r.Truth.VestBox, 0.5, r.Image.W, r.Image.H)
+		boxes := d.DetectROI(r.Image, roi)
+		if len(boxes) == 0 {
+			continue
+		}
+		checked++
+		best := boxes[0]
+		if best.Rect.Intersect(roi).Area() != best.Rect.Area() {
+			t.Fatalf("ROI detection %+v escapes the crop %+v", best.Rect, roi)
+		}
+		// The crop is resampled to the tier's analysis resolution, so the
+		// box granularity differs from the full-frame pass — the mapping
+		// contract is that it lands on the vest, not that it matches the
+		// full-frame box pixel for pixel.
+		if best.Rect.Intersect(r.Truth.VestBox).Empty() {
+			t.Fatalf("ROI detection %+v missed truth %+v", best.Rect, r.Truth.VestBox)
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no clear VIP frames yielded an ROI detection")
+	}
+}
+
+// TestDetectROIDegenerate: empty and out-of-frame crops return nothing
+// rather than panicking.
+func TestDetectROIDegenerate(t *testing.T) {
+	d := &Detector{Tier: TierFor(models.YOLOv8, models.Nano)}
+	im := imgproc.NewImage(64, 64)
+	if got := d.DetectROI(im, imgproc.Rect{}); got != nil {
+		t.Fatalf("empty crop returned %v", got)
+	}
+	if got := d.DetectROI(im, imgproc.Rect{X0: 100, Y0: 100, X1: 200, Y1: 200}); got != nil {
+		t.Fatalf("out-of-frame crop returned %v", got)
+	}
+}

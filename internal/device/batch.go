@@ -35,6 +35,7 @@ type MicroBatcher struct {
 	model   models.ID
 	prec    Precision
 	eng     Engine
+	cost    float64
 }
 
 // NewMicroBatcher wraps an executor with a coalescing queue.
@@ -53,22 +54,24 @@ func (b *MicroBatcher) Due(tMS float64) bool {
 
 // Offer enqueues a job for coalescing. It returns the completions of
 // any batch this offer forced out: a pending batch of a different
-// model, precision, or engine flushes first (coalesced inferences are
-// one kernel — one model, one precision, one compiled program), and a
-// batch that reaches MaxBatch (including the new job) dispatches
-// immediately. With batching disabled the job executes immediately on
-// the per-frame path.
+// model, precision, engine, or cost scale flushes first (coalesced
+// inferences are one kernel — one model, one precision, one compiled
+// program at one degradation rung), and a batch that reaches MaxBatch
+// (including the new job) dispatches immediately. With batching
+// disabled the job executes immediately on the per-frame path.
 func (b *MicroBatcher) Offer(j Job) []Completion {
 	if !b.Cfg.Enabled() {
 		return b.Ex.Run([]Job{j})
 	}
 	var out []Completion
-	if len(b.pending) > 0 && (b.model != j.Model || b.prec != j.Precision || b.eng != j.Engine) {
+	if len(b.pending) > 0 && (b.model != j.Model || b.prec != j.Precision ||
+		b.eng != j.Engine || b.cost != j.costScale()) {
 		out = b.Flush()
 	}
 	b.model = j.Model
 	b.prec = j.Precision
 	b.eng = j.Engine
+	b.cost = j.costScale()
 	b.pending = append(b.pending, j)
 	if len(b.pending) >= b.Cfg.MaxBatch {
 		out = append(out, b.Flush()...)

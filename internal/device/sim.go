@@ -31,6 +31,20 @@ type Job struct {
 	DeadlineMS float64
 	// Priority ranks jobs for SLO-aware schedulers (0 = most urgent).
 	Priority uint8
+	// CostScale, when positive, multiplies the drawn service time —
+	// how temporal degradation rungs (ROI crops, early exits) charge
+	// less than a full-frame pass. It scales the jittered draw rather
+	// than changing it, so the rng stream is untouched and the zero
+	// value (nominal cost) replays historic schedules bit for bit.
+	CostScale float64
+}
+
+// costScale returns the effective service-time multiplier.
+func (j Job) costScale() float64 {
+	if j.CostScale > 0 {
+		return j.CostScale
+	}
+	return 1
 }
 
 // Completion describes a finished job.
@@ -222,7 +236,7 @@ func (e *Executor) runOne(j Job) Completion {
 	if e.busyMS == 0 {
 		idle = 0 // no history before the first job
 	}
-	svc := e.serviceMS(j.Model, j.Precision, j.Engine) + j.CompileMS
+	svc := e.serviceMS(j.Model, j.Precision, j.Engine)*j.costScale() + j.CompileMS
 	c := Completion{Job: j, StartMS: start, ServiceMS: svc, FinishMS: start + svc}
 	e.updateDuty(idle, svc)
 	e.busyMS = c.FinishMS
@@ -279,6 +293,9 @@ func (e *Executor) RunBatchInto(dst []Completion, jobs []Job) []Completion {
 		if j.Engine != eng {
 			panic(fmt.Sprintf("device: RunBatch mixes engines %s and %s", eng, j.Engine))
 		}
+		if j.costScale() != jobs[0].costScale() {
+			panic(fmt.Sprintf("device: RunBatch mixes cost scales %v and %v", jobs[0].costScale(), j.costScale()))
+		}
 		if j.ArrivalMS > start {
 			start = j.ArrivalMS
 		}
@@ -293,7 +310,7 @@ func (e *Executor) RunBatchInto(dst []Completion, jobs []Job) []Completion {
 	if e.busyMS == 0 {
 		idle = 0
 	}
-	svc := e.serviceBatchMS(m, prec, eng, len(jobs)) + compile
+	svc := e.serviceBatchMS(m, prec, eng, len(jobs))*jobs[0].costScale() + compile
 	share := svc / float64(len(jobs))
 	for _, j := range jobs {
 		dst = append(dst, Completion{Job: j, StartMS: start, ServiceMS: share, FinishMS: start + svc})

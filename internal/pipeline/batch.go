@@ -2,6 +2,7 @@ package pipeline
 
 import (
 	"ocularone/internal/device"
+	"ocularone/internal/temporal"
 )
 
 // BatchPolicy routes per-stage device work through micro-batching: up
@@ -88,6 +89,8 @@ func (g *groupRunner) flush() {
 		name  string
 		p     Placement
 		ready float64
+		root  bool
+		rung  temporal.Rung
 	}
 	// exQueue pairs a micro-batcher with the wave jobs it has queued in
 	// offer order; flushed completions are always an oldest-first prefix
@@ -101,6 +104,8 @@ func (g *groupRunner) flush() {
 	dones := make([]map[string]float64, n)
 	stats := make([]FrameStat, n)
 	delivered := make([]map[string]bool, n)
+	bridgedRoot := make([]bool, n) // frame's root was tracker-bridged
+	degraded := make([]bool, n)    // any root below FullFrame (bridge included)
 	maxLen := 0
 	for gi, fr := range frames {
 		dones[gi] = map[string]float64{}
@@ -119,6 +124,11 @@ func (g *groupRunner) flush() {
 			dones[w.gi][w.name] = w.ready + lat
 			stats[w.gi].StageMS[w.name] = lat
 			delivered[w.gi][w.name] = true
+			if w.root && fr.env.tpol != nil {
+				// A real root inference re-anchors the stream's bridging
+				// budget at the completed rung's confidence.
+				fr.env.refreshBridge(w.rung, w.ready+lat)
+			}
 		}
 		q.jobs = q.jobs[len(cs):]
 	}
@@ -140,8 +150,14 @@ func (g *groupRunner) flush() {
 			}
 			p := fr.env.place[name]
 			ex := fr.env.exFor(p.Device)
-			if len(nd.deps) > 0 && !fr.env.sess.Policy.RunStage(ready, ex.BusyUntilMS(), fr.env.sess.periodMS()) {
+			root := len(nd.deps) == 0
+			if !root && !fr.env.sess.Policy.RunStage(ready, ex.BusyUntilMS(), fr.env.sess.periodMS()) {
 				fr.env.skips[name]++
+				if bridgedRoot[gi] {
+					// Stale-skip downstream of a bridged root: staleness
+					// compounding across the two layers, counted loudly.
+					fr.env.doubleSkips++
+				}
 				continue
 			}
 			fr.fc.cur = name
@@ -150,19 +166,41 @@ func (g *groupRunner) flush() {
 			if !ran {
 				continue
 			}
+			rung, cost := temporal.FullFrame, 0.0
+			if root && fr.env.tpol != nil {
+				period := fr.env.sess.periodMS()
+				delay := ex.AdmissionDelayMS(ready)
+				if fr.env.tryBridgeRoot(ready, delay, period) {
+					// Tracker prediction stands in: no device job, the
+					// bridge latency is the motion-model extrapolation.
+					done := ready + fr.env.sess.Temporal.bridgeMS()
+					dones[gi][name] = done
+					stats[gi].StageMS[name] = done - ready
+					delivered[gi][name] = true
+					bridgedRoot[gi] = true
+					degraded[gi] = true
+					continue
+				}
+				rung = fr.env.rootRung(delay, period, ex.ThermalStress())
+				cost = fr.env.tpol.CostScale(rung)
+				if rung != temporal.FullFrame {
+					degraded[gi] = true
+				}
+			}
 			q := queues[ex]
 			if q == nil {
 				q = &exQueue{mb: device.NewMicroBatcher(ex, cfg)}
 				queues[ex] = q
 				order = append(order, ex)
 			}
-			q.jobs = append(q.jobs, waveJob{gi: gi, name: name, p: p, ready: ready})
+			q.jobs = append(q.jobs, waveJob{gi: gi, name: name, p: p, ready: ready, root: root, rung: rung})
 			prec := fr.env.sess.Precision.PrecisionFor(name)
 			settle(q, q.mb.Offer(device.Job{
 				Model: p.Model, ArrivalMS: ready,
 				Precision: prec,
 				Engine:    fr.env.sess.Engine.EngineFor(name),
 				CompileMS: fr.env.planCompile(name, p, prec),
+				CostScale: cost,
 			}))
 		}
 		for _, ex := range order {
@@ -184,6 +222,11 @@ func (g *groupRunner) flush() {
 		st.DetectMS = st.StageMS["detect"]
 		st.PoseMS = st.StageMS["pose"]
 		st.DepthMS = st.StageMS["depth"]
+		if fr.env.tpol != nil {
+			// Deadline misses walk the ladder down, degraded frames
+			// (bridged or reduced-rung) push it back toward full frames.
+			fr.env.tpol.Observe(!st.Deadline, degraded[gi])
+		}
 		fr.env.deliver(fr.res, fr.fc, st, delivered[gi])
 	}
 }

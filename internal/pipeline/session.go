@@ -8,6 +8,7 @@ import (
 	"ocularone/internal/device"
 	"ocularone/internal/metrics"
 	"ocularone/internal/parallel"
+	"ocularone/internal/temporal"
 	"ocularone/internal/video"
 )
 
@@ -77,6 +78,12 @@ type Session struct {
 	// after FromMS arrives. Nil (or never-reached outages) replays the
 	// outage-free schedule bit for bit. See Outage.
 	Outages []Outage
+	// Temporal enables the cross-frame degradation ladder on the
+	// session's root stages: queue pressure steps the root inference
+	// down to ROI / early-exit cost, and inside the staleness budget a
+	// tracker-bridged frame skips the device entirely. The zero value
+	// replays the pre-temporal schedule bit for bit. See TemporalPolicy.
+	Temporal TemporalPolicy
 
 	local *device.Cluster
 }
@@ -155,6 +162,24 @@ type StreamResult struct {
 	StageSkips map[string]int
 	// Rebinds counts live placement changes applied by the Placer.
 	Rebinds int
+	// Bridged counts root-stage frames served by tracker prediction
+	// instead of a device inference (ladder rung L3; zero when the
+	// session's TemporalPolicy is off).
+	Bridged int
+	// ROIFrames and EarlyExitFrames count root inferences charged at
+	// the reduced ladder rungs (L1 and L2).
+	ROIFrames, EarlyExitFrames int
+	// ForcedRefreshes counts full-frame passes forced by the ladder's
+	// staleness clock.
+	ForcedRefreshes int64
+	// DoubleSkips counts downstream stage skips on frames whose root
+	// was tracker-bridged — staleness compounding across the ladder and
+	// the back-pressure policy, surfaced loudly so the two layers
+	// cannot double-skip silently (see StaleSkipPolicy).
+	DoubleSkips int
+	// BridgeStaleMaxMS is the largest gap between a bridged frame and
+	// the last real root inference anchoring it.
+	BridgeStaleMaxMS float64
 }
 
 // Legacy converts the stream result to the original Result shape.
@@ -213,12 +238,27 @@ type execEnv struct {
 	// onset; outageCur is the next not-yet-applied entry.
 	outages   []Outage
 	outageCur int
+	// Temporal ladder state (nil tpol = ladder off): the per-stream
+	// bridging budget mirrors serve's per-tenant budget — brRun counts
+	// consecutive bridges since the last real root inference, brConf is
+	// the decaying bridging confidence re-seeded by each completion's
+	// rung, brLastMS anchors the staleness measurement.
+	tpol                   *temporal.Policy
+	brRun                  int
+	brConf                 float64
+	brLastMS               float64
+	bridged                int
+	roiFrames, earlyFrames int
+	doubleSkips            int
+	staleMaxMS             float64
 }
 
 func (s *Session) env(shared *device.Cluster) *execEnv {
-	return &execEnv{sess: s, place: s.Graph.Placements(), shared: shared,
+	e := &execEnv{sess: s, place: s.Graph.Placements(), shared: shared,
 		skips: map[string]int{}, compiled: map[string]Placement{},
 		outages: sortedOutages(s.Outages, nil)}
+	e.initTemporal()
+	return e
 }
 
 // clusterFor resolves a device to the cluster that owns its executor:
@@ -336,6 +376,14 @@ func (e *execEnv) finalize(res *StreamResult) {
 	res.StageSkips = e.skips
 	res.Rebinds = e.rebinds
 	res.PlanCompiles = e.compiles
+	res.Bridged = e.bridged
+	res.ROIFrames = e.roiFrames
+	res.EarlyExitFrames = e.earlyFrames
+	res.DoubleSkips = e.doubleSkips
+	res.BridgeStaleMaxMS = e.staleMaxMS
+	if e.tpol != nil {
+		res.ForcedRefreshes = e.tpol.ForcedRefreshes()
+	}
 }
 
 // Run processes the session's feed through its graph: analytics are real

@@ -81,6 +81,37 @@ func BenchmarkIntegritySteadyState(b *testing.B) {
 	}
 }
 
+// BenchmarkTemporalSteadyState is BenchmarkServeSteadyState with the
+// temporal degradation ladder live under thermal stress at 2x overload:
+// every dispatch walks the rung policy, overload converts would-be
+// sheds into tracker-bridged responses, and the staleness histogram
+// records every bridge. The CI temporal-gate asserts 0 allocs/op —
+// the steady-state ladder loop must be allocation-free.
+func BenchmarkTemporalSteadyState(b *testing.B) {
+	cfg := DefaultConfig(1e18, 42)
+	cfg.Traffic.RatePerSec = 2 * Capacity(cfg)
+	cfg.Temporal.Enabled = true
+	s := NewServer(cfg)
+	s.SetThermalStress(0, 0.5)
+	s.AdvanceTo(5_000)
+	start := s.Offered()
+	t := 5_000.0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t += 1.0
+		s.AdvanceTo(t)
+	}
+	b.StopTimer()
+	if s.bridgedReqs == 0 || s.roiReqs+s.earlyReqs == 0 {
+		b.Fatalf("ladder idle in its own benchmark: bridged=%d roi=%d early=%d",
+			s.bridgedReqs, s.roiReqs, s.earlyReqs)
+	}
+	if n := s.Offered() - start; n > 0 && b.Elapsed().Seconds() > 0 {
+		b.ReportMetric(float64(n)/b.Elapsed().Seconds(), "sim_req/s")
+	}
+}
+
 // BenchmarkArrivalGen isolates the thinning sampler.
 func BenchmarkArrivalGen(b *testing.B) {
 	g := newGen(DefaultConfig(0, 3).Traffic)

@@ -38,7 +38,10 @@ package serve
 // bit (integrity counters are only mixed into the fingerprint when the
 // layer is live).
 
-import "ocularone/internal/device"
+import (
+	"ocularone/internal/device"
+	"ocularone/internal/temporal"
+)
 
 // RetryPolicy bounds re-execution of detected-corrupt requests.
 type RetryPolicy struct {
@@ -211,6 +214,11 @@ func (s *Server) completeViaHedge(ri int32) {
 	s.tenantCompleted[r.tenant]++
 	s.attained[r.tenant] += r.estMS
 	s.hedgeWins++
+	if s.tpol != nil {
+		// The hedge device ran a full-frame pass: it re-anchors the
+		// tenant's track exactly like a primary full-frame completion.
+		s.refreshTrack(r.tenant, temporal.FullFrame, r.hedgeDoneMS)
+	}
 	s.observe(missed, false)
 	s.release(ri)
 }

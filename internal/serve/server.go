@@ -8,6 +8,7 @@ import (
 	"ocularone/internal/device"
 	"ocularone/internal/models"
 	"ocularone/internal/rng"
+	"ocularone/internal/temporal"
 )
 
 // Event kinds of the serving simulator.
@@ -84,6 +85,13 @@ type Config struct {
 	// value disables all of it and replays pre-integrity schedules bit
 	// for bit.
 	Integrity IntegrityConfig
+	// Temporal configures the cross-frame degradation ladder: ROI and
+	// early-exit dispatch rungs under deadline pressure and tracker-
+	// bridged responses for would-be sheds, inside an explicit staleness
+	// budget (see temporal.go and internal/temporal). The zero value
+	// disables the ladder and replays pre-temporal schedules bit for
+	// bit.
+	Temporal TemporalConfig
 }
 
 // DefaultConfig is the reference serving configuration of the
@@ -226,6 +234,19 @@ type Server struct {
 	hedgeJobs      []device.Job
 	hedgeComps     []device.Completion
 
+	// Temporal-ladder state (temporal.go; nil/zero unless
+	// Temporal.Enabled). brRun/brConf/brLastMS are per-tenant bridge
+	// state: consecutive bridged responses, bridging confidence, and
+	// the time of the last real inference.
+	tpol        *temporal.Policy
+	brRun       []int32
+	brConf      []float64
+	brLastMS    []float64
+	bridgedReqs int64
+	roiReqs     int64
+	earlyReqs   int64
+	staleHist   Hist
+
 	// Adaptive-precision state (nil/false unless Adapt is enabled).
 	ctl            *adaptive.Controller
 	degraded       bool
@@ -314,6 +335,7 @@ func NewServer(cfg Config) *Server {
 		s.hedgeComps = make([]device.Completion, 0, 1)
 	}
 	s.initAdapt(cfg, maxB)
+	s.initTemporal(nt)
 	for ti := range g.tenants {
 		s.q.Push(Event{TimeMS: g.nextArrival(ti), Kind: evArrival, A: int32(ti)})
 	}
@@ -433,10 +455,16 @@ func (s *Server) arrive(ti int, now float64) {
 		return
 	}
 	if s.cfg.QueueCap > 0 && s.queued >= int64(s.cfg.QueueCap) {
+		if s.tryBridge(ti, c, now, deadline) {
+			return
+		}
 		s.tallies[c].shed++
 		return
 	}
 	if s.cfg.TenantQuota > 0 && s.tenantQueued[ti] >= int64(s.cfg.TenantQuota) {
+		if s.tryBridge(ti, c, now, deadline) {
+			return
+		}
 		s.tallies[c].shed++
 		return
 	}
@@ -471,6 +499,9 @@ func (s *Server) arrive(ti int, now float64) {
 			if s.exH != nil && s.hedges < s.hedgeBudget() {
 				hedge = true
 			} else if s.cfg.ShedDoomed {
+				if s.tryBridge(ti, c, now, deadline) {
+					return
+				}
 				s.tallies[c].shed++
 				s.observe(true, false)
 				return
@@ -515,6 +546,12 @@ func (s *Server) arrive(ti int, now float64) {
 // misses alone would hide exactly the pressure the controller must
 // react to.
 func (s *Server) observe(missed, degraded bool) {
+	if s.tpol != nil {
+		// The rung controller walks on the same outcome stream as the
+		// precision controller: misses push down the ladder, degraded
+		// completions (bridged, reduced-rung, or int8) push back up.
+		s.tpol.Observe(missed, degraded)
+	}
 	if s.ctl == nil {
 		return
 	}
@@ -658,18 +695,27 @@ func (s *Server) maybeDispatch(now float64) {
 				continue // stay work-conserving: consider lower classes
 			}
 		}
-		s.dispatch(c, lead.model, now, maxB)
+		s.dispatch(c, lead.model, lead.deadlineMS, now, maxB)
 		return
 	}
 }
 
 // dispatch coalesces up to maxB model-m requests of class c —
 // repeatedly taking from the least-attained tenant with eligible work —
-// and serves them as one inference.
-func (s *Server) dispatch(c Class, m models.ID, now float64, maxB int) {
+// and serves them as one inference. With the temporal ladder enabled,
+// the whole batch runs at one selected rung: full-frame, ROI-cropped,
+// or early-exit, with the rung's cost scale applied uniformly so the
+// coalesced kernel stays one compiled program.
+func (s *Server) dispatch(c Class, m models.ID, leadDeadline, now float64, maxB int) {
 	prec := s.cfg.Precision
 	if s.degraded {
 		prec = device.INT8
+	}
+	rung := temporal.FullFrame
+	costScale := 0.0 // zero value: nominal, bit-for-bit replay
+	if s.tpol != nil {
+		rung = s.selectRung(leadDeadline, now)
+		costScale = s.tpol.CostScale(rung)
 	}
 	s.batchReqs = s.batchReqs[:0]
 	s.jobs = s.jobs[:0]
@@ -701,6 +747,7 @@ func (s *Server) dispatch(c Class, m models.ID, now float64, maxB int) {
 			// Metadata for completion-side accounting.
 			DeadlineMS: r.deadlineMS,
 			Priority:   uint8(c),
+			CostScale:  costScale,
 		})
 	}
 	if len(s.batchReqs) == 0 {
@@ -784,10 +831,26 @@ func (s *Server) dispatch(c Class, m models.ID, now float64, maxB int) {
 		if degraded {
 			s.degradedReqs++
 		}
+		rungDeg := degraded
+		if s.tpol != nil {
+			switch rung {
+			case temporal.ROI:
+				s.roiReqs++
+			case temporal.EarlyExit:
+				s.earlyReqs++
+			}
+			// A real inference re-anchors the tenant's track at the
+			// rung's confidence; reduced rungs count as degraded tiers.
+			s.refreshTrack(r.tenant, rung, back)
+			if rung != temporal.FullFrame {
+				rungDeg = true
+			}
+		}
 		// Degraded completions are fed as detection failures — the
-		// accuracy cost of int8 — which is the pressure that upshifts
-		// the controller back to nominal once misses subside.
-		s.observe(missed, degraded)
+		// accuracy cost of int8 or of a reduced ladder rung — which is
+		// the pressure that upshifts the controllers back to nominal
+		// once misses subside.
+		s.observe(missed, rungDeg)
 		s.release(ri)
 	}
 	s.batches++
@@ -874,6 +937,25 @@ type Result struct {
 	RetriesGivenUp  int64 `json:"retries_given_up,omitempty"`
 	Hedges          int64 `json:"hedges,omitempty"`
 	HedgeWins       int64 `json:"hedge_wins,omitempty"`
+
+	// Temporal-ladder accounting (all zero unless Temporal.Enabled;
+	// see temporal.go).
+	//
+	// BridgedReqs counts would-be-shed arrivals answered from tracker
+	// predictions, ROIReqs/EarlyExitReqs completions served at the
+	// reduced dispatch rungs, ForcedRefreshes full-frame passes the
+	// staleness clock forced, and RungSwitches the windowed rung
+	// controller's adaptations. The staleness quantiles are over
+	// bridged responses' age — time since the serving tenant's last
+	// real inference.
+	BridgedReqs     int64   `json:"bridged_reqs,omitempty"`
+	ROIReqs         int64   `json:"roi_reqs,omitempty"`
+	EarlyExitReqs   int64   `json:"early_exit_reqs,omitempty"`
+	ForcedRefreshes int64   `json:"forced_refreshes,omitempty"`
+	RungSwitches    int64   `json:"rung_switches,omitempty"`
+	StaleP50MS      float64 `json:"stale_p50_ms,omitempty"`
+	StaleMeanMS     float64 `json:"stale_mean_ms,omitempty"`
+	StaleMaxMS      float64 `json:"stale_max_ms,omitempty"`
 }
 
 // Result summarises the run so far (call after AdvanceTo + Drain).
@@ -923,6 +1005,16 @@ func (s *Server) Result() Result {
 	res.RetriesGivenUp = s.retriesGivenUp
 	res.Hedges = s.hedges
 	res.HedgeWins = s.hedgeWins
+	res.BridgedReqs = s.bridgedReqs
+	res.ROIReqs = s.roiReqs
+	res.EarlyExitReqs = s.earlyReqs
+	if s.tpol != nil {
+		res.ForcedRefreshes = s.tpol.ForcedRefreshes()
+		res.RungSwitches = int64(s.tpol.Switches())
+		res.StaleP50MS = s.staleHist.QuantileMS(0.50)
+		res.StaleMeanMS = s.staleHist.MeanMS()
+		res.StaleMaxMS = s.staleHist.MaxMS()
+	}
 	if s.recoveredN > 0 {
 		res.MeanRecoveryMS = s.recoverySumMS / float64(s.recoveredN)
 		res.MaxRecoveryMS = s.recoveryMaxMS
@@ -975,6 +1067,17 @@ func (r Result) CheckInvariants() error {
 	}
 	if r.HedgeWins > r.Hedges {
 		return fmt.Errorf("serve: hedge wins %d exceed hedges %d", r.HedgeWins, r.Hedges)
+	}
+	// Temporal ledgers: bridged, ROI, and early-exit responses are
+	// disjoint kinds of completion, so their sum is bounded by the
+	// completion count; a bridged run is only legal between real
+	// completions, so bridges cannot exist without at least one.
+	if r.BridgedReqs+r.ROIReqs+r.EarlyExitReqs > r.Completed {
+		return fmt.Errorf("serve: bridged %d + roi %d + early-exit %d exceed completed %d",
+			r.BridgedReqs, r.ROIReqs, r.EarlyExitReqs, r.Completed)
+	}
+	if r.BridgedReqs > 0 && r.Completed == r.BridgedReqs {
+		return fmt.Errorf("serve: %d bridged responses with no real completion to anchor them", r.BridgedReqs)
 	}
 	for _, c := range r.Classes {
 		if c.Offered != c.Admitted+c.Shed {
@@ -1041,6 +1144,19 @@ func (s *Server) Fingerprint() uint64 {
 		mix(uint64(s.retriesGivenUp))
 		mix(uint64(s.hedges))
 		mix(uint64(s.hedgeWins))
+	}
+	// Same contract for the temporal ladder: its counters and the
+	// staleness histogram join the hash only when the ladder is live.
+	if s.temporalLive() {
+		mix(uint64(s.bridgedReqs))
+		mix(uint64(s.roiReqs))
+		mix(uint64(s.earlyReqs))
+		mix(uint64(s.tpol.ForcedRefreshes()))
+		mix(uint64(s.tpol.Switches()))
+		mix(math.Float64bits(s.staleHist.sum))
+		for _, n := range s.staleHist.counts {
+			mix(uint64(n))
+		}
 	}
 	return h
 }

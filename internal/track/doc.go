@@ -8,4 +8,17 @@
 // per-frame recall r into a stream with effective recall well above r,
 // and its confidence decay gives the pipeline a principled "VIP lost"
 // signal instead of a single-frame alarm.
+//
+// Since PR 10 the tracker is also the bottom rung of the temporal
+// degradation ladder (internal/temporal, ARCHITECTURE.md §Temporal
+// resilience): under overload or an outage the serving tiers answer
+// frames from a live track's motion-model prediction instead of
+// shedding them. The contracts that embedding leans on are explicit
+// here: Config.ConfDecay is the same geometric decay the ladder's
+// bridging budget assumes (temporal.Config.ConfDecay), Config.ConfFloor
+// lets a bridging consumer distinguish a long coast from a fresh
+// re-lock, and MultiTracker.ReuseIDs keeps track identities
+// deterministic across detection gaps (the chaos-gap battery in
+// gap_test.go pins ID stability and bounded coasting drift through
+// occlusion and night dropout bursts).
 package track

@@ -19,6 +19,15 @@ type Config struct {
 	// GateIoU rejects detections that do not overlap the predicted box
 	// at least this much while the tracker is confident. Default 0.05.
 	GateIoU float64
+	// ConfDecay multiplies the track confidence per coasted frame
+	// (default 0.8 — the geometric decay the temporal bridging budget
+	// assumes, see temporal.Config.ConfDecay).
+	ConfDecay float64
+	// ConfFloor clamps the coasting confidence from below (default 0:
+	// unbounded decay, the historic behaviour). A consumer bridging on
+	// track predictions sets this to its minimum usable confidence so a
+	// long coast and a fresh re-lock are distinguishable.
+	ConfFloor float64
 }
 
 func (c *Config) defaults() {
@@ -30,6 +39,12 @@ func (c *Config) defaults() {
 	}
 	if c.GateIoU <= 0 {
 		c.GateIoU = 0.05
+	}
+	if c.ConfDecay <= 0 || c.ConfDecay > 1 {
+		c.ConfDecay = 0.8
+	}
+	if c.ConfFloor < 0 {
+		c.ConfFloor = 0
 	}
 }
 
@@ -190,7 +205,10 @@ func (t *Tracker) miss() State {
 		// Extrapolate and decay confidence geometrically.
 		t.cx += t.vx
 		t.cy += t.vy
-		t.conf *= 0.8
+		t.conf *= t.cfg.ConfDecay
+		if t.conf < t.cfg.ConfFloor {
+			t.conf = t.cfg.ConfFloor
+		}
 		t.state = Coasting
 		return t.state
 	}
